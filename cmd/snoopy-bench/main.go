@@ -1,0 +1,65 @@
+// Command snoopy-bench regenerates the tables and figures of the Snoopy
+// paper's evaluation (SOSP'21 §8). Each figure prints the same rows/series
+// the paper plots; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	snoopy-bench -fig 9a            # one figure
+//	snoopy-bench -fig all           # everything (minutes at default scale)
+//	snoopy-bench -fig 9a -full      # paper-scale data sizes (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snoopy/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,table8,9a,9b,10,11a,11b,12,13a,13b,14,headline,all")
+	full := flag.Bool("full", false, "use the paper's full data sizes (hours of runtime)")
+	flag.Parse()
+
+	sc := figures.DefaultScale()
+	if *full {
+		sc = figures.FullScale()
+	}
+	w := os.Stdout
+
+	runs := map[string]func(){
+		"3":        func() { figures.Fig3(w, sc) },
+		"4":        func() { figures.Fig4(w, sc) },
+		"table8":   func() { figures.Table8(w) },
+		"9a":       func() { figures.Fig9a(w, sc) },
+		"9a-sim":   func() { figures.Fig9aSim(w, sc) },
+		"9b":       func() { figures.Fig9b(w, sc) },
+		"10":       func() { figures.Fig10(w, sc) },
+		"11a":      func() { figures.Fig11a(w, sc) },
+		"11b":      func() { figures.Fig11b(w, sc) },
+		"12":       func() { figures.Fig12(w, sc) },
+		"13a":      func() { figures.Fig13a(w, sc) },
+		"13b":      func() { figures.Fig13b(w, sc) },
+		"14":       func() { figures.Fig14(w, sc) },
+		"headline": func() { figures.Headline(w, sc) },
+	}
+	order := []string{"3", "4", "table8", "9a", "9a-sim", "9b", "10", "11a", "11b", "12", "13a", "13b", "14", "headline"}
+
+	want := strings.ToLower(*fig)
+	if want == "all" {
+		for _, k := range order {
+			runs[k]()
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	run, ok := runs[want]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; choose from %s or all\n", *fig, strings.Join(order, ","))
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,117 @@
+// Command snoopy-client drives a Snoopy deployment whose subORAMs run as
+// snoopy-server processes: it attests and connects to each server, loads a
+// synthetic object set, runs a mixed read/write workload, and reports
+// throughput and latency percentiles.
+//
+//	snoopy-server -listen :7001 -platform <hex> &
+//	snoopy-server -listen :7002 -platform <hex> &
+//	snoopy-client -servers 127.0.0.1:7001,127.0.0.1:7002 -platform <hex> \
+//	              -objects 100000 -ops 2000 -clients 8
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"snoopy"
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/metrics"
+	"snoopy/internal/workload"
+)
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:7001", "comma-separated subORAM addresses")
+	platformHex := flag.String("platform", "", "shared platform root key (64 hex chars)")
+	objects := flag.Int("objects", 100_000, "objects to load")
+	block := flag.Int("block", 160, "object size in bytes")
+	ops := flag.Int("ops", 2000, "operations to run")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	lbs := flag.Int("lbs", 2, "load balancers")
+	epoch := flag.Duration("epoch", 50*time.Millisecond, "epoch duration")
+	writeFrac := flag.Float64("writes", 0.5, "write fraction")
+	flag.Parse()
+
+	var key crypt.Key
+	raw, err := hex.DecodeString(*platformHex)
+	if err != nil || len(raw) != crypt.KeySize {
+		log.Fatalf("-platform must be %d hex chars (copy it from snoopy-server)", 2*crypt.KeySize)
+	}
+	copy(key[:], raw)
+	platform := enclave.NewPlatformFromKey(key)
+	m := snoopy.Measure("snoopy-suboram-v1")
+
+	var subs []snoopy.SubORAM
+	for _, addr := range strings.Split(*servers, ",") {
+		sub, err := snoopy.DialSubORAM(strings.TrimSpace(addr), platform, m)
+		if err != nil {
+			log.Fatalf("dial %s: %v", addr, err)
+		}
+		subs = append(subs, sub)
+		fmt.Printf("attested and connected to %s\n", addr)
+	}
+
+	st, err := snoopy.OpenWithSubORAMs(snoopy.Config{
+		BlockSize: *block, LoadBalancers: *lbs, Epoch: *epoch,
+	}, subs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	fmt.Printf("loading %d objects...\n", *objects)
+	ids := make([]uint64, *objects)
+	data := make([]byte, *objects**block)
+	for i := range ids {
+		ids[i] = uint64(i)
+		copy(data[i**block:], fmt.Sprintf("obj-%d", i))
+	}
+	if err := st.LoadSlices(ids, data); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("running %d ops across %d clients (write fraction %.0f%%)...\n",
+		*ops, *clients, 100**writeFrac)
+	gen := workload.Mix(workload.Uniform(*objects), *writeFrac)
+	var lat metrics.Latencies
+	th := metrics.NewThroughput()
+	var wg sync.WaitGroup
+	perClient := (*ops + *clients - 1) / *clients
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				op := gen(rng)
+				t0 := time.Now()
+				var err error
+				if op.Write {
+					_, _, err = st.Write(op.Key, []byte(fmt.Sprintf("w-%d-%d", c, i)))
+				} else {
+					_, _, err = st.Read(op.Key)
+				}
+				if err != nil {
+					log.Printf("op failed: %v", err)
+					return
+				}
+				lat.Add(time.Since(t0))
+				th.Done(1)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("throughput: %.0f reqs/s\n", th.PerSecond())
+	fmt.Printf("latency:    %s\n", lat.String())
+	stats := st.Stats()
+	fmt.Printf("last epoch: batch=%d dropped=%d make=%v suboram=%v match=%v\n",
+		stats.BatchSize, stats.Dropped, stats.MakeBatch.Round(time.Microsecond),
+		stats.SubORAM.Round(time.Microsecond), stats.Match.Round(time.Microsecond))
+}

@@ -1,0 +1,60 @@
+// Command snoopy-server hosts one subORAM partition behind an attested,
+// encrypted TCP endpoint (the paper's per-machine subORAM process).
+//
+// The simulated attestation platform is keyed by a shared hex secret so
+// that separately started processes agree on one authority:
+//
+//	snoopy-server -listen :7001 -block 160 -platform 00112233...
+//
+// Then point snoopy-client (or snoopy.DialSubORAM) at it with the same
+// platform secret.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/suboram"
+	"snoopy/internal/transport"
+)
+
+// Program is the measurement identity this binary attests to.
+const Program = "snoopy-suboram-v1"
+
+func main() {
+	listen := flag.String("listen", ":7001", "address to listen on")
+	block := flag.Int("block", 160, "object size in bytes")
+	workers := flag.Int("workers", 0, "scan worker threads (0 = 1)")
+	sealed := flag.Bool("sealed", false, "store partition in sealed enclave-external memory")
+	platformHex := flag.String("platform", "", "shared platform root key (64 hex chars); empty generates one and prints it")
+	flag.Parse()
+
+	var key crypt.Key
+	if *platformHex == "" {
+		key = crypt.MustNewKey()
+		fmt.Printf("platform key: %s\n", hex.EncodeToString(key[:]))
+	} else {
+		raw, err := hex.DecodeString(*platformHex)
+		if err != nil || len(raw) != crypt.KeySize {
+			log.Fatalf("-platform must be %d hex chars", 2*crypt.KeySize)
+		}
+		copy(key[:], raw)
+	}
+	platform := enclave.NewPlatformFromKey(key)
+
+	sub := suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subORAM serving on %s (block=%dB sealed=%v measurement=%q)\n",
+		l.Addr(), *block, *sealed, Program)
+	if err := transport.ServeSubORAM(l, sub, platform, enclave.Measure(Program)); err != nil {
+		log.Fatal(err)
+	}
+}

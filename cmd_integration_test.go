@@ -1,0 +1,99 @@
+package snoopy_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"snoopy/internal/crypt"
+)
+
+// TestCommandLineIntegration builds the real binaries and runs a two-server
+// deployment end to end: snoopy-server ×2 + snoopy-client, attested over
+// a shared platform key, loading objects and running a workload.
+func TestCommandLineIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"snoopy-server", "snoopy-client"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+	key := crypt.MustNewKey()
+	platformHex := hex.EncodeToString(key[:])
+
+	var addrs []string
+	var servers []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		port := freePort(t)
+		addr := fmt.Sprintf("127.0.0.1:%d", port)
+		srv := exec.Command(filepath.Join(bin, "snoopy-server"),
+			"-listen", addr, "-block", "64", "-platform", platformHex)
+		srv.Stdout = os.Stderr
+		srv.Stderr = os.Stderr
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Process.Kill()
+			s.Wait()
+		}
+	}()
+	for _, addr := range addrs {
+		waitListening(t, addr)
+	}
+
+	client := exec.Command(filepath.Join(bin, "snoopy-client"),
+		"-servers", addrs[0]+","+addrs[1],
+		"-platform", platformHex,
+		"-block", "64", "-objects", "2000", "-ops", "40",
+		"-clients", "4", "-epoch", "20ms")
+	var out bytes.Buffer
+	client.Stdout = &out
+	client.Stderr = &out
+	if err := client.Run(); err != nil {
+		t.Fatalf("client failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"attested and connected", "throughput:", "latency:"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("client output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never started", addr)
+}

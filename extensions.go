@@ -1,0 +1,93 @@
+package snoopy
+
+import (
+	"time"
+
+	"snoopy/internal/adaptive"
+	"snoopy/internal/core"
+	"snoopy/internal/pir"
+	"snoopy/internal/planner"
+	"snoopy/internal/replica"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// This file exposes the paper's extension features (§6, §9, Appendix D):
+// access control, fault-tolerant/rollback-protected partitions, PIR-backed
+// partitions, and the latency-minimizing planner.
+
+// Operation codes for ACL rules.
+const (
+	OpRead  = store.OpRead
+	OpWrite = store.OpWrite
+)
+
+// ACLRule grants a user an operation on an object (Appendix D).
+type ACLRule = core.ACLRule
+
+// EnableACL installs an access-control matrix, served obliviously by an
+// internal recursive Snoopy instance (paper §D). Call before submitting
+// requests; afterwards use ReadAs/WriteAs. Plain Read/Write run as user 0.
+func (s *Store) EnableACL(rules []ACLRule, aclSubORAMs int) error {
+	return s.sys.EnableACL(rules, aclSubORAMs)
+}
+
+// ReadAs reads key on behalf of user; denied reads return zeroes with
+// ok == false, indistinguishable (to the storage) from permitted ones.
+func (s *Store) ReadAs(user, key uint64) (value []byte, ok bool, err error) {
+	return s.sys.ReadAs(user, key)
+}
+
+// WriteAs writes key on behalf of user; denied writes change nothing.
+func (s *Store) WriteAs(user, key uint64, value []byte) (previous []byte, ok bool, err error) {
+	return s.sys.WriteAs(user, key, value)
+}
+
+// NewReplicatedSubORAM builds a partition replicated across f+r+1 local
+// nodes, tolerating f crashes and r rollback attacks, with a trusted
+// monotonic counter detecting stale replicas (paper §9). The result plugs
+// into OpenWithSubORAMs like any partition.
+func NewReplicatedSubORAM(blockSize, f, r int, sealed bool) (SubORAM, error) {
+	n := f + r + 1
+	reps := make([]*replica.Replica, n)
+	for i := range reps {
+		reps[i] = replica.NewReplica(suboram.New(suboram.Config{
+			BlockSize: blockSize, Sealed: sealed,
+		}))
+	}
+	return replica.NewGroup(reps, nil, f, r)
+}
+
+// NewAdaptiveSubORAM builds a partition that switches between the
+// throughput-optimized linear-scan engine and the latency-optimized DORAM
+// based on observed batch sizes — the adaptive-workload direction §1.1
+// leaves as future work. switchBelow/switchAbove set the hysteresis band
+// in mean batch size (0 picks defaults).
+func NewAdaptiveSubORAM(blockSize, switchBelow, switchAbove int) (SubORAM, error) {
+	return adaptive.New(adaptive.Config{
+		BlockSize:   blockSize,
+		SwitchBelow: switchBelow,
+		SwitchAbove: switchAbove,
+	})
+}
+
+// NewPIRSubORAM builds a partition served by two-server XOR PIR (paper §9
+// "Private Information Retrieval"): reads are information-theoretically
+// private against either (non-colluding) server; writes are applied in the
+// clear, so use it for read-dominated stores such as transparency logs.
+func NewPIRSubORAM(blockSize int) SubORAM {
+	return pir.NewSubORAM(blockSize)
+}
+
+// PlanDeploymentForBudget is the §6 extension planner: given a data size,
+// a throughput target, and a monthly budget, it returns the configuration
+// minimizing average latency.
+func PlanDeploymentForBudget(objects, blockSize int, minThroughput, monthlyBudget float64) (Plan, error) {
+	model := planner.Calibrate(blockSize, 128)
+	return planner.OptimizeLatency(planner.Requirements{
+		Objects:       objects,
+		BlockSize:     blockSize,
+		MinThroughput: minThroughput,
+		MaxLatency:    time.Hour, // bounded by the budget search instead
+	}, monthlyBudget, model, planner.DefaultPrices())
+}

@@ -1,0 +1,110 @@
+package snoopy_test
+
+// Native fuzz targets for the oblivious primitives and parameter math.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzX` explores further.
+
+import (
+	"bytes"
+	"testing"
+
+	"snoopy/internal/batch"
+	"snoopy/internal/crypt"
+	"snoopy/internal/obliv"
+)
+
+func FuzzCompactMatchesReference(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{1}, 70))
+	f.Fuzz(func(t *testing.T, marksRaw []byte) {
+		if len(marksRaw) > 512 {
+			marksRaw = marksRaw[:512]
+		}
+		n := len(marksRaw)
+		vals := make(obliv.U64Slice, n)
+		marks := make([]uint8, n)
+		var want []uint64
+		for i := range marksRaw {
+			vals[i] = uint64(i) + 7
+			marks[i] = marksRaw[i] & 1
+			if marks[i] == 1 {
+				want = append(want, vals[i])
+			}
+		}
+		got := append(obliv.U64Slice(nil), vals...)
+		obliv.Compact(got, marks)
+		for i, w := range want {
+			if got[i] != w {
+				t.Fatalf("slot %d: %d != %d (marks %v)", i, got[i], w, marks)
+			}
+		}
+	})
+}
+
+func FuzzSortOrders(f *testing.F) {
+	f.Add([]byte{3, 1, 2})
+	f.Add([]byte{255, 0, 255, 0, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		u := make(obliv.U64Slice, len(raw))
+		for i, b := range raw {
+			u[i] = uint64(b)
+		}
+		obliv.Sort(u)
+		for i := 1; i < len(u); i++ {
+			if u[i-1] > u[i] {
+				t.Fatalf("unsorted at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzBatchSizeBound(f *testing.F) {
+	f.Add(uint16(100), uint8(4), uint8(40))
+	f.Add(uint16(1), uint8(1), uint8(128))
+	f.Fuzz(func(t *testing.T, rRaw uint16, sRaw, lRaw uint8) {
+		r := int(rRaw)
+		s := int(sRaw%32) + 1
+		lambda := int(lRaw%128) + 1
+		b := batch.Size(r, s, lambda)
+		if b > r || (r > 0 && b <= 0) {
+			t.Fatalf("Size(%d,%d,%d) = %d out of range", r, s, lambda, b)
+		}
+		if b < r {
+			limit := 1.0
+			for i := 0; i < lambda; i++ {
+				limit /= 2
+			}
+			if bound := batch.OverflowBound(r, s, b); bound > limit*1.0000001 {
+				t.Fatalf("Size(%d,%d,%d)=%d violates bound: %g > 2^-%d", r, s, lambda, b, bound, lambda)
+			}
+		}
+	})
+}
+
+func FuzzSealerRoundTrip(f *testing.F) {
+	f.Add([]byte("plaintext"), []byte("aad"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, pt, aad []byte) {
+		s, err := crypt.NewSealer(crypt.MustNewKey(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := s.Seal(pt, aad)
+		got, err := s.Open(ct, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatal("round trip mismatch")
+		}
+		if len(ct) > 0 {
+			ct[len(ct)-1] ^= 1
+			if _, err := s.Open(ct, aad); err == nil {
+				t.Fatal("tampered ciphertext accepted")
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module snoopy
+
+go 1.22

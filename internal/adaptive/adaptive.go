@@ -1,0 +1,173 @@
+// Package adaptive implements the future-work feature the paper sketches
+// in §1.1: "adaptively switching between solutions that are optimal under
+// different workloads". A partition watches its recent batch sizes and
+// serves requests from whichever engine wins at that operating point:
+//
+//   - high throughput → the linear-scan subORAM (internal/suboram), whose
+//     single scan amortizes over large batches;
+//   - low throughput → the latency-optimized Oblix-style DORAM
+//     (internal/oblix), whose polylogarithmic accesses beat a full scan
+//     when batches are small.
+//
+// Switching migrates the partition state through Export/Init — an offline
+// step between epochs — with hysteresis so alternating load does not
+// thrash. The wrapper implements core.SubORAMClient, so an adaptive
+// partition drops in anywhere a plain one does.
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+
+	"snoopy/internal/oblix"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// Engine names.
+const (
+	EngineScan  = "linear-scan"
+	EngineDORAM = "doram"
+)
+
+// Config tunes the switching policy.
+type Config struct {
+	BlockSize int
+	// ScanConfig configures the throughput engine (BlockSize overridden).
+	ScanConfig suboram.Config
+	// SwitchBelow: move to the DORAM when the windowed mean batch size
+	// falls below this (default 32).
+	SwitchBelow int
+	// SwitchAbove: move back to the linear scan when it rises above this
+	// (default 4×SwitchBelow; must exceed SwitchBelow for hysteresis).
+	SwitchAbove int
+	// Window is the number of recent batches averaged (default 8).
+	Window int
+}
+
+func (c *Config) fill() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("adaptive: BlockSize must be positive")
+	}
+	if c.SwitchBelow <= 0 {
+		c.SwitchBelow = 32
+	}
+	if c.SwitchAbove <= 0 {
+		c.SwitchAbove = 4 * c.SwitchBelow
+	}
+	if c.SwitchAbove <= c.SwitchBelow {
+		return fmt.Errorf("adaptive: SwitchAbove (%d) must exceed SwitchBelow (%d)",
+			c.SwitchAbove, c.SwitchBelow)
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	c.ScanConfig.BlockSize = c.BlockSize
+	return nil
+}
+
+// exporter is what both engines provide beyond core.SubORAMClient.
+type engine interface {
+	Init(ids []uint64, data []byte) error
+	BatchAccess(reqs *store.Requests) (*store.Requests, error)
+	Export() (ids []uint64, data []byte, err error)
+}
+
+// SubORAM is the adaptive partition.
+type SubORAM struct {
+	cfg Config
+
+	mu       sync.Mutex
+	active   engine
+	name     string
+	recent   []int
+	switches int
+}
+
+// New creates an adaptive partition (starting on the linear-scan engine).
+func New(cfg Config) (*SubORAM, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &SubORAM{cfg: cfg, name: EngineScan, active: suboram.New(cfg.ScanConfig)}, nil
+}
+
+// Init loads the partition into the active engine.
+func (a *SubORAM) Init(ids []uint64, data []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active.Init(ids, data)
+}
+
+// Engine reports the currently active engine (EngineScan or EngineDORAM).
+func (a *SubORAM) Engine() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.name
+}
+
+// Switches reports how many engine migrations have happened.
+func (a *SubORAM) Switches() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.switches
+}
+
+// BatchAccess serves the batch from the active engine, then updates the
+// policy window and migrates if the workload has moved into the other
+// engine's regime.
+func (a *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out, err := a.active.BatchAccess(reqs)
+	if err != nil {
+		return nil, err
+	}
+	a.recent = append(a.recent, reqs.Len())
+	if len(a.recent) > a.cfg.Window {
+		a.recent = a.recent[len(a.recent)-a.cfg.Window:]
+	}
+	if len(a.recent) == a.cfg.Window {
+		if err := a.maybeSwitch(); err != nil {
+			// The served batch is already correct; a failed migration
+			// leaves the current engine in place.
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+func (a *SubORAM) maybeSwitch() error {
+	sum := 0
+	for _, n := range a.recent {
+		sum += n
+	}
+	mean := sum / len(a.recent)
+	var target string
+	switch {
+	case a.name == EngineScan && mean < a.cfg.SwitchBelow:
+		target = EngineDORAM
+	case a.name == EngineDORAM && mean > a.cfg.SwitchAbove:
+		target = EngineScan
+	default:
+		return nil
+	}
+	ids, data, err := a.active.Export()
+	if err != nil {
+		return err
+	}
+	var next engine
+	if target == EngineDORAM {
+		next = oblix.NewSubORAM(a.cfg.BlockSize)
+	} else {
+		next = suboram.New(a.cfg.ScanConfig)
+	}
+	if err := next.Init(ids, data); err != nil {
+		return err
+	}
+	a.active = next
+	a.name = target
+	a.switches++
+	a.recent = a.recent[:0] // restart the window after a migration
+	return nil
+}

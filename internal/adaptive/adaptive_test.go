@@ -1,0 +1,187 @@
+package adaptive
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"snoopy/internal/core"
+	"snoopy/internal/store"
+)
+
+const testBlock = 16
+
+func newAdaptive(t *testing.T, n int) *SubORAM {
+	t.Helper()
+	a, err := New(Config{BlockSize: testBlock, SwitchBelow: 8, SwitchAbove: 32, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, n)
+	data := make([]byte, n*testBlock)
+	for i := 0; i < n; i++ {
+		ids[i] = uint64(i)
+		copy(data[i*testBlock:], fmt.Sprintf("v%d", i))
+	}
+	if err := a.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func runBatch(t *testing.T, a *SubORAM, size, base int) *store.Requests {
+	t.Helper()
+	reqs := store.NewRequests(size, testBlock)
+	for i := 0; i < size; i++ {
+		reqs.SetRow(i, store.OpRead, uint64((base+i*7)%200), 0, uint64(i), uint64(i), nil)
+	}
+	dedupKeys(reqs)
+	out, err := a.BatchAccess(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func dedupKeys(reqs *store.Requests) {
+	seen := map[uint64]bool{}
+	next := uint64(10_000)
+	for i := 0; i < reqs.Len(); i++ {
+		for seen[reqs.Key[i]] {
+			reqs.Key[i] = next
+			next++
+		}
+		seen[reqs.Key[i]] = true
+	}
+}
+
+func TestStartsOnScanEngine(t *testing.T) {
+	a := newAdaptive(t, 100)
+	if a.Engine() != EngineScan {
+		t.Fatalf("expected scan engine, got %s", a.Engine())
+	}
+	out := runBatch(t, a, 40, 0)
+	if !bytes.HasPrefix(out.Block(0), []byte("v")) {
+		t.Fatal("read through adaptive wrapper broken")
+	}
+}
+
+func TestSwitchesToDORAMUnderLowLoad(t *testing.T) {
+	a := newAdaptive(t, 100)
+	for i := 0; i < 4; i++ {
+		runBatch(t, a, 2, i)
+	}
+	if a.Engine() != EngineDORAM {
+		t.Fatalf("small batches should move to the DORAM, still on %s", a.Engine())
+	}
+	if a.Switches() != 1 {
+		t.Fatalf("expected 1 switch, got %d", a.Switches())
+	}
+}
+
+func TestSwitchesBackUnderHighLoad(t *testing.T) {
+	a := newAdaptive(t, 100)
+	for i := 0; i < 4; i++ {
+		runBatch(t, a, 2, i) // → DORAM
+	}
+	for i := 0; i < 4; i++ {
+		runBatch(t, a, 64, i) // → back to scan
+	}
+	if a.Engine() != EngineScan {
+		t.Fatalf("large batches should return to the scan engine, on %s", a.Engine())
+	}
+	if a.Switches() != 2 {
+		t.Fatalf("expected 2 switches, got %d", a.Switches())
+	}
+}
+
+func TestHysteresisPreventsFlapping(t *testing.T) {
+	a := newAdaptive(t, 100)
+	// Batch sizes between the thresholds must never trigger a switch.
+	for i := 0; i < 12; i++ {
+		runBatch(t, a, 16, i) // 8 < 16 < 32
+	}
+	if a.Switches() != 0 {
+		t.Fatalf("mid-band load caused %d switches", a.Switches())
+	}
+}
+
+func TestStateSurvivesMigrations(t *testing.T) {
+	a := newAdaptive(t, 60)
+	// Write on the scan engine.
+	w := store.NewRequests(40, testBlock)
+	for i := 0; i < 40; i++ {
+		w.SetRow(i, store.OpWrite, uint64(i), 0, uint64(i), uint64(i), []byte(fmt.Sprintf("W%d", i)))
+	}
+	if _, err := a.BatchAccess(w); err != nil {
+		t.Fatal(err)
+	}
+	// Drive it to the DORAM, then write more.
+	for i := 0; i < 4; i++ {
+		runBatch(t, a, 2, i)
+	}
+	if a.Engine() != EngineDORAM {
+		t.Fatal("setup failed")
+	}
+	w2 := store.NewRequests(1, testBlock)
+	w2.SetRow(0, store.OpWrite, 5, 0, 0, 0, []byte("ORAM5"))
+	if _, err := a.BatchAccess(w2); err != nil {
+		t.Fatal(err)
+	}
+	// Back to the scan engine; all writes must have survived both hops.
+	for i := 0; i < 4; i++ {
+		runBatch(t, a, 64, i)
+	}
+	if a.Engine() != EngineScan {
+		t.Fatal("setup failed (return)")
+	}
+	check := store.NewRequests(3, testBlock)
+	check.SetRow(0, store.OpRead, 5, 0, 0, 0, nil)
+	check.SetRow(1, store.OpRead, 7, 0, 1, 1, nil)
+	check.SetRow(2, store.OpRead, 55, 0, 2, 2, nil)
+	out, err := a.BatchAccess(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]string{5: "ORAM5", 7: "W7", 55: "v55"}
+	for i := 0; i < out.Len(); i++ {
+		if !bytes.HasPrefix(out.Block(i), []byte(want[out.Key[i]])) {
+			t.Fatalf("key %d: got %q want prefix %q", out.Key[i], out.Block(i), want[out.Key[i]])
+		}
+	}
+}
+
+func TestAdaptiveInFullSystem(t *testing.T) {
+	a, err := New(Config{BlockSize: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewWithSubORAMs(core.Config{
+		BlockSize: 160, Lambda: 32, EpochDuration: 2 * time.Millisecond,
+	}, []core.SubORAMClient{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ids := []uint64{1, 2, 3}
+	if err := sys.Init(ids, make([]byte, 3*160)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Write(2, []byte("adaptive")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := sys.Read(2)
+	if err != nil || !found || !bytes.HasPrefix(v, []byte("adaptive")) {
+		t.Fatalf("adaptive system read: %q %v %v", v, found, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero BlockSize accepted")
+	}
+	if _, err := New(Config{BlockSize: 8, SwitchBelow: 50, SwitchAbove: 40}); err == nil {
+		t.Fatal("inverted hysteresis band accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package batch implements Theorem 3 of the Snoopy paper: the public
+// batch-size function f(R,S) that guarantees, for R distinct requests hashed
+// uniformly across S subORAMs, that the probability any subORAM receives
+// more than f(R,S) requests is negligible in the security parameter λ.
+//
+// The bound is a Chernoff/union-bound argument solved in closed form with
+// branch 0 of the Lambert W function:
+//
+//	μ = R/S,  γ = ln(S · 2^λ)
+//	f(R,S) = min(R, μ · exp(W₀(e⁻¹(γ/μ − 1)) + 1))
+//
+// The package also provides the derived quantities the paper plots: dummy
+// overhead (Fig. 3) and per-epoch real-request capacity (Fig. 4), plus the
+// raw Chernoff overflow bound used by tests to validate the closed form.
+package batch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Size returns the batch size f(R,S) for security parameter lambda bits.
+// Every subORAM receives exactly this many (deduplicated, padded) requests.
+// It panics if s <= 0; r == 0 yields 0.
+func Size(r, s, lambda int) int {
+	if s <= 0 {
+		panic("batch: number of subORAMs must be positive")
+	}
+	if r <= 0 {
+		return 0
+	}
+	if s == 1 {
+		return r
+	}
+	mu := float64(r) / float64(s)
+	gamma := math.Log(float64(s)) + float64(lambda)*math.Ln2
+	x := math.Exp(-1) * (gamma/mu - 1)
+	w, err := LambertW0(x)
+	if err != nil {
+		// x < -1/e cannot occur: gamma > 0 implies x > -1/e.
+		panic(fmt.Sprintf("batch: lambert domain error: %v", err))
+	}
+	b := mu * math.Exp(w+1)
+	bi := int(math.Ceil(b))
+	if bi > r || bi < 0 {
+		return r
+	}
+	return bi
+}
+
+// DummyOverhead returns the fraction of extra (dummy) requests the system
+// processes: (S·f(R,S) − R) / R. This is the y-axis of paper Fig. 3.
+func DummyOverhead(r, s, lambda int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	b := Size(r, s, lambda)
+	return float64(s*b-r) / float64(r)
+}
+
+// Capacity returns the largest number of real requests R such that
+// f(R,S) <= maxBatch — the per-epoch real-request capacity of a deployment
+// where each subORAM can process at most maxBatch requests per epoch. This
+// is the y-axis of paper Fig. 4 ("assuming ≤1K requests per subORAM per
+// epoch"). lambda < 0 means no security (capacity = S·maxBatch).
+func Capacity(s, lambda, maxBatch int) int {
+	if s <= 0 || maxBatch <= 0 {
+		return 0
+	}
+	if lambda < 0 {
+		return s * maxBatch
+	}
+	// Size(·, s, lambda) is nondecreasing in r, so binary search works.
+	lo, hi := 0, s*maxBatch
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if Size(mid, s, lambda) <= maxBatch {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// OverflowBound returns the Chernoff+union upper bound on the probability
+// that any of the s subORAMs receives more than b of the r requests:
+//
+//	S · exp(−μ((1+δ)ln(1+δ) − δ)),  δ = b/μ − 1.
+//
+// Used by tests to confirm that Size() drives this below 2^−λ.
+func OverflowBound(r, s, b int) float64 {
+	if b >= r {
+		return 0 // a subORAM can never see more than r requests
+	}
+	if r <= 0 || s <= 0 || b <= 0 {
+		return 1
+	}
+	mu := float64(r) / float64(s)
+	delta := float64(b)/mu - 1
+	if delta <= 0 {
+		return 1
+	}
+	exponent := -mu * ((1+delta)*math.Log(1+delta) - delta)
+	return math.Min(1, float64(s)*math.Exp(exponent))
+}
+
+// LambertW0 evaluates branch 0 of the Lambert W function — the inverse of
+// w·e^w on [−1/e, ∞) — by Halley iteration from a piecewise initial guess.
+// It returns an error for x < −1/e (outside the real domain of W₀).
+func LambertW0(x float64) (float64, error) {
+	const minX = -1.0 / math.E
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("batch: LambertW0(NaN)")
+	}
+	if x < minX {
+		// Allow for tiny negative slack from floating-point rounding.
+		if x > minX-1e-12 {
+			return -1, nil
+		}
+		return 0, fmt.Errorf("batch: LambertW0(%g) below branch point −1/e", x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+
+	var w float64
+	switch {
+	case x < -0.25:
+		// Series around the branch point: w = −1 + p − p²/3 + 11p³/72,
+		// p = sqrt(2(e·x + 1)).
+		p := math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3 + 11*p*p*p/72
+	case x < 3:
+		// w = x/(1+x) is an adequate Halley start throughout (−0.25, 3).
+		// (A log-based guess must NOT be used near x = 1: ln(ln x) → −∞
+		// there and sends the iteration to the wrong branch.)
+		w = x / (1 + x)
+	default:
+		l1 := math.Log(x)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	}
+
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			break
+		}
+		// Halley's method.
+		denom := ew*(w+1) - (w+2)*f/(2*w+2)
+		dw := f / denom
+		w -= dw
+		if w < -1 {
+			w = -1 // stay on branch 0
+		}
+		if math.Abs(dw) <= 1e-14*(1+math.Abs(w)) {
+			break
+		}
+	}
+	// Batch sizing is security-critical: verify the root and fall back to
+	// bisection if the iteration misbehaved (w·e^w is strictly increasing
+	// on [−1, ∞), so bisection always succeeds on branch 0).
+	if resid := w*math.Exp(w) - x; math.IsNaN(w) || w < -1 || math.Abs(resid) > 1e-9*(1+math.Abs(x)) {
+		w = bisectW0(x)
+	}
+	return w, nil
+}
+
+// bisectW0 solves w·e^w = x for w ≥ −1 by bisection.
+func bisectW0(x float64) float64 {
+	lo, hi := -1.0, 1.0
+	for hi*math.Exp(hi) < x {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid*math.Exp(mid) < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,258 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{math.E, 1},
+		{1, 0.5671432904097838},
+		{2 * math.E * math.E, 2},
+		{-1 / math.E, -1},
+		{-0.1, -0.11183255915896297},
+		{-0.3, -0.489402227180215},
+		{10, 1.7455280027406994},
+		{1e6, 11.383358086140052},
+	}
+	for _, c := range cases {
+		got, err := LambertW0(c.x)
+		if err != nil {
+			t.Fatalf("LambertW0(%g): %v", c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-9*(1+math.Abs(c.want)) {
+			t.Errorf("LambertW0(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLambertW0Inverse(t *testing.T) {
+	// W0(w e^w) == w for w >= -1.
+	f := func(raw float64) bool {
+		w := math.Mod(math.Abs(raw), 20) - 1 // w in [-1, 19)
+		x := w * math.Exp(w)
+		got, err := LambertW0(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-w) < 1e-8*(1+math.Abs(w))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambertW0Domain(t *testing.T) {
+	if _, err := LambertW0(-0.5); err == nil {
+		t.Fatal("expected domain error below -1/e")
+	}
+	if w, err := LambertW0(-1/math.E - 1e-14); err != nil || math.Abs(w+1) > 1e-9 {
+		t.Fatalf("tiny slack below branch point should clamp to -1: %v %v", w, err)
+	}
+}
+
+func TestSizeBasicProperties(t *testing.T) {
+	// Batch size bounded by R; at least the mean; monotone in R.
+	for _, s := range []int{2, 5, 10, 20} {
+		prev := 0
+		for _, r := range []int{1, 10, 100, 1000, 5000, 10000, 100000} {
+			b := Size(r, s, 128)
+			if b > r {
+				t.Fatalf("S=%d R=%d: batch %d exceeds R", s, r, b)
+			}
+			if float64(b) < float64(r)/float64(s) {
+				t.Fatalf("S=%d R=%d: batch %d below mean", s, r, b)
+			}
+			if b < prev {
+				t.Fatalf("S=%d: batch size not monotone in R (%d after %d)", s, b, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestSizeSingleSubORAM(t *testing.T) {
+	if got := Size(1234, 1, 128); got != 1234 {
+		t.Fatalf("S=1 must get the whole batch, got %d", got)
+	}
+}
+
+func TestSizeZeroRequests(t *testing.T) {
+	if got := Size(0, 4, 128); got != 0 {
+		t.Fatalf("R=0 should yield 0, got %d", got)
+	}
+}
+
+// TestSizeSatisfiesChernoffBound verifies the closed form against the raw
+// bound it was derived from: the overflow probability at B = Size(R,S,λ)
+// must be at most 2^−λ.
+func TestSizeSatisfiesChernoffBound(t *testing.T) {
+	for _, lambda := range []int{40, 80, 128} {
+		for _, s := range []int{2, 3, 10, 20, 50} {
+			for _, r := range []int{100, 1000, 10000, 1000000} {
+				b := Size(r, s, lambda)
+				if b == r {
+					continue // zero overflow probability by construction
+				}
+				bound := OverflowBound(r, s, b)
+				limit := math.Pow(2, -float64(lambda))
+				if bound > limit*1.0000001 {
+					t.Errorf("λ=%d S=%d R=%d B=%d: bound %.3g > 2^-λ %.3g",
+						lambda, s, r, b, bound, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestSizeTight checks the bound is not absurdly loose: one fewer slot per
+// batch should violate the Chernoff bound in the high-throughput regime
+// (otherwise the formula is wasting dummy capacity).
+func TestSizeTight(t *testing.T) {
+	const lambda = 128
+	for _, s := range []int{5, 20} {
+		r := 100000
+		b := Size(r, s, lambda)
+		if b == r {
+			t.Fatalf("expected sub-R batch in high-throughput regime")
+		}
+		// Allow a couple of slots of slack for the ceil.
+		if OverflowBound(r, s, b-3) <= math.Pow(2, -float64(lambda)) {
+			t.Errorf("S=%d R=%d: batch %d looks loose (b-3 still satisfies bound)", s, r, b)
+		}
+	}
+}
+
+// TestEmpiricalNoOverflow plays the actual balls-into-bins game at a
+// moderate λ and confirms no batch ever overflows.
+func TestEmpiricalNoOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const lambda = 30
+	for _, cfg := range []struct{ r, s int }{{1000, 4}, {5000, 10}, {20000, 16}} {
+		b := Size(cfg.r, cfg.s, lambda)
+		for trial := 0; trial < 200; trial++ {
+			counts := make([]int, cfg.s)
+			for i := 0; i < cfg.r; i++ {
+				counts[rng.Intn(cfg.s)]++
+			}
+			for sub, c := range counts {
+				if c > b {
+					t.Fatalf("R=%d S=%d λ=%d: subORAM %d got %d > batch %d",
+						cfg.r, cfg.s, lambda, sub, c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDummyOverheadShrinksWithLoad(t *testing.T) {
+	// Paper Fig. 3: overhead decreases as R grows, increases with S.
+	for _, s := range []int{2, 10, 20} {
+		prev := math.Inf(1)
+		for _, r := range []int{500, 1000, 2000, 5000, 10000} {
+			o := DummyOverhead(r, s, 128)
+			if o > prev+1e-9 {
+				t.Errorf("S=%d: overhead grew from %.3f to %.3f as R rose to %d", s, prev, o, r)
+			}
+			prev = o
+		}
+	}
+	if DummyOverhead(10000, 2, 128) >= DummyOverhead(10000, 20, 128) {
+		t.Error("overhead should increase with subORAM count")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	// Paper Fig. 4: capacity grows with S but sublinearly under security;
+	// λ<0 (no security) is exactly S·maxBatch.
+	const maxBatch = 1000
+	if got := Capacity(10, -1, maxBatch); got != 10*maxBatch {
+		t.Fatalf("insecure capacity should be S·maxBatch, got %d", got)
+	}
+	prev := 0
+	for _, s := range []int{1, 2, 5, 10, 20} {
+		c := Capacity(s, 128, maxBatch)
+		if c <= prev {
+			t.Fatalf("capacity should grow with S: S=%d gave %d after %d", s, c, prev)
+		}
+		if c > s*maxBatch {
+			t.Fatalf("secure capacity exceeds insecure ceiling: S=%d c=%d", s, c)
+		}
+		// Verify the search result is consistent with Size.
+		if Size(c, s, 128) > maxBatch {
+			t.Fatalf("S=%d: capacity %d yields oversized batch", s, c)
+		}
+		if Size(c+1, s, 128) <= maxBatch {
+			t.Fatalf("S=%d: capacity %d not maximal", s, c)
+		}
+		prev = c
+	}
+	// Sublinearity: secure capacity at S=20 strictly below 20·maxBatch.
+	if Capacity(20, 128, maxBatch) >= 20*maxBatch {
+		t.Error("secure capacity should be strictly sublinear")
+	}
+}
+
+func TestOverflowBoundEdges(t *testing.T) {
+	if OverflowBound(100, 4, 100) != 0 {
+		t.Error("b >= r must have zero overflow probability")
+	}
+	if OverflowBound(100, 4, 10) != 1 {
+		t.Error("b below the mean must clamp to 1")
+	}
+}
+
+// TestLambertW0DenseSweep verifies the inverse identity on a dense grid —
+// including the x ≈ 1 region where a naive log-based initial guess
+// diverges to the wrong branch (a bug this test pins down; it once made
+// Size() return batch sizes below the mean, causing request drops).
+func TestLambertW0DenseSweep(t *testing.T) {
+	for w := -1.0; w <= 20; w += 0.001 {
+		x := w * math.Exp(w)
+		got, err := LambertW0(x)
+		if err != nil {
+			t.Fatalf("W0(%g): %v", x, err)
+		}
+		if math.IsNaN(got) || math.Abs(got-w) > 1e-6*(1+math.Abs(w)) {
+			t.Fatalf("W0(%g) = %g, want %g", x, got, w)
+		}
+	}
+	// The exact trouble spots.
+	for _, x := range []float64{0.999999, 1.0, 1.0000001, 1.0001, 1.01, 1.0257, 2.99, 3.0, 3.01} {
+		w, err := LambertW0(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resid := w*math.Exp(w) - x; math.Abs(resid) > 1e-9*(1+x) {
+			t.Fatalf("W0(%g) = %g: residual %g", x, w, resid)
+		}
+	}
+}
+
+// TestSizeDenseSanity checks, densely over R, the two properties request
+// safety rests on: the batch size never falls below the per-subORAM mean,
+// and it is monotone in R.
+func TestSizeDenseSanity(t *testing.T) {
+	for _, lambda := range []int{24, 64, 128} {
+		for _, s := range []int{2, 3, 7, 16} {
+			prev := 0
+			for r := 1; r <= 3000; r++ {
+				b := Size(r, s, lambda)
+				if float64(b) < float64(r)/float64(s) {
+					t.Fatalf("λ=%d S=%d R=%d: batch %d below mean %.1f", lambda, s, r, b, float64(r)/float64(s))
+				}
+				if b < prev {
+					t.Fatalf("λ=%d S=%d R=%d: batch %d < previous %d (non-monotone)", lambda, s, r, b, prev)
+				}
+				if b > r {
+					t.Fatalf("λ=%d S=%d R=%d: batch %d exceeds R", lambda, s, r, b)
+				}
+				prev = b
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"snoopy/internal/store"
+)
+
+func startACLSystem(t *testing.T) *System {
+	t.Helper()
+	sys := startSystem(t, Config{
+		NumLoadBalancers: 2, NumSubORAMs: 2, EpochDuration: 2 * time.Millisecond,
+	}, 50)
+	rules := []ACLRule{
+		{User: 1, Object: 10, Op: store.OpRead},
+		{User: 1, Object: 10, Op: store.OpWrite},
+		{User: 2, Object: 10, Op: store.OpRead}, // read-only on 10
+		{User: 2, Object: 20, Op: store.OpWrite},
+	}
+	if err := sys.EnableACL(rules, 2); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestACLPermittedOperations(t *testing.T) {
+	sys := startACLSystem(t)
+	v, found, err := sys.ReadAs(1, 10)
+	if err != nil || !found {
+		t.Fatalf("permitted read denied: %v %v", err, found)
+	}
+	if trimmed(v) != "init-10" {
+		t.Fatalf("permitted read got %q", trimmed(v))
+	}
+	if _, found, err = sys.WriteAs(1, 10, []byte("by-user-1")); err != nil || !found {
+		t.Fatalf("permitted write denied: %v %v", err, found)
+	}
+	v, _, _ = sys.ReadAs(1, 10)
+	if trimmed(v) != "by-user-1" {
+		t.Fatalf("write did not apply: %q", trimmed(v))
+	}
+}
+
+func TestACLDeniedReadReturnsNull(t *testing.T) {
+	sys := startACLSystem(t)
+	v, found, err := sys.ReadAs(3, 10) // user 3 has no rights
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("denied read reported found")
+	}
+	if !bytes.Equal(v, make([]byte, len(v))) {
+		t.Fatalf("denied read leaked data: %q", v)
+	}
+}
+
+func TestACLDeniedWriteChangesNothing(t *testing.T) {
+	sys := startACLSystem(t)
+	if _, found, err := sys.WriteAs(2, 10, []byte("evil")); err != nil || found {
+		t.Fatalf("denied write: err=%v found=%v (should be nil,false)", err, found)
+	}
+	v, found, err := sys.ReadAs(1, 10)
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if trimmed(v) != "init-10" {
+		t.Fatalf("denied write mutated state: %q", trimmed(v))
+	}
+}
+
+func TestACLWriteOnlyGrantDoesNotAllowRead(t *testing.T) {
+	sys := startACLSystem(t)
+	if _, found, _ := sys.ReadAs(2, 20); found {
+		t.Fatal("write-only grant allowed a read")
+	}
+	if _, found, err := sys.WriteAs(2, 20, []byte("ok")); err != nil || !found {
+		t.Fatalf("granted write denied: %v %v", err, found)
+	}
+	v, _, _ := sys.ReadAs(1, 10) // unrelated sanity
+	_ = v
+}
+
+func TestACLDefaultUserZero(t *testing.T) {
+	sys := startACLSystem(t)
+	// Plain Read runs as user 0, which has no grants.
+	if _, found, _ := sys.Read(10); found {
+		t.Fatal("user 0 should be denied without a rule")
+	}
+}
+
+func TestACLManyUsersConcurrent(t *testing.T) {
+	sys := startSystem(t, Config{NumSubORAMs: 2, EpochDuration: 2 * time.Millisecond}, 100)
+	var rules []ACLRule
+	for u := uint64(1); u <= 8; u++ {
+		rules = append(rules, ACLRule{User: u, Object: u, Op: store.OpRead})
+	}
+	if err := sys.EnableACL(rules, 2); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	for u := uint64(1); u <= 8; u++ {
+		u := u
+		go func() {
+			if _, found, err := sys.ReadAs(u, u); err != nil || !found {
+				errs <- fmt.Errorf("user %d own-object read failed: %v %v", u, err, found)
+				return
+			}
+			if _, found, _ := sys.ReadAs(u, (u%8)+1); found && (u%8)+1 != u {
+				errs <- fmt.Errorf("user %d read another user's object", u)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestACLInvalidRule(t *testing.T) {
+	sys := startSystem(t, Config{NumSubORAMs: 1}, 4)
+	if err := sys.EnableACL([]ACLRule{{User: 1, Object: 1, Op: 9}}, 1); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestACLWithPipelinedEpochs(t *testing.T) {
+	sys := startSystem(t, Config{
+		NumLoadBalancers: 2, NumSubORAMs: 2, Pipeline: true,
+		EpochDuration: 2 * time.Millisecond,
+	}, 50)
+	if err := sys.EnableACL([]ACLRule{
+		{User: 1, Object: 10, Op: store.OpRead},
+		{User: 1, Object: 10, Op: store.OpWrite},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := sys.WriteAs(1, 10, []byte("piped")); err != nil || !found {
+		t.Fatalf("pipelined ACL write: %v %v", err, found)
+	}
+	v, found, err := sys.ReadAs(1, 10)
+	if err != nil || !found || trimmed(v) != "piped" {
+		t.Fatalf("pipelined ACL read: %q %v %v", trimmed(v), found, err)
+	}
+	if _, found, _ := sys.ReadAs(2, 10); found {
+		t.Fatal("pipelined ACL denied read leaked")
+	}
+}

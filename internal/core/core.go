@@ -1,0 +1,587 @@
+// Package core assembles Snoopy's components into the full system of §3.1:
+// L independent oblivious load balancers in front of S subORAM partitions,
+// processing client requests in synchronized epochs.
+//
+// Concurrency model (paper §4.3, §C): clients enqueue requests with any load
+// balancer at any time; at each epoch boundary every load balancer
+// independently deduplicates and batches its pending requests; every
+// subORAM then executes the L batches in fixed load-balancer order; finally
+// each load balancer obliviously matches responses and replies. The
+// resulting history is linearizable: operations are ordered by (epoch, load
+// balancer, reads-before-writes, sequence), and a read always observes the
+// latest write ordered before it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// SubORAMClient is the interface the system needs from a partition: local
+// (in-process) subORAMs and remote (transport-backed) ones both satisfy it.
+type SubORAMClient interface {
+	// Init loads the partition contents.
+	Init(ids []uint64, data []byte) error
+	// BatchAccess executes one batch of distinct requests.
+	BatchAccess(reqs *store.Requests) (*store.Requests, error)
+}
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("core: system closed")
+
+// Config configures a Snoopy deployment.
+type Config struct {
+	// BlockSize is the object value size in bytes.
+	BlockSize int
+	// NumLoadBalancers is L.
+	NumLoadBalancers int
+	// NumSubORAMs is S (used only by NewLocal; NewWithSubORAMs infers it).
+	NumSubORAMs int
+	// Lambda is the security parameter for batch sizing.
+	Lambda int
+	// EpochDuration is the batching interval. Zero disables the internal
+	// ticker; epochs then run only via Flush (deterministic tests).
+	EpochDuration time.Duration
+	// SubORAMWorkers and SortWorkers bound per-node parallelism.
+	SubORAMWorkers int
+	SortWorkers    int
+	// Sealed stores partitions in enclave-external encrypted memory.
+	Sealed bool
+	// Strict enables debug validation inside subORAMs.
+	Strict bool
+	// Pipeline overlaps epoch stages (paper §6: "we can pipeline the
+	// subORAM and load balancer processing"): while the subORAMs execute
+	// epoch e, the load balancers batch epoch e+1 and match epoch e-1.
+	// Flush then returns once the epoch is *dispatched*; per-request
+	// completion still blocks until its epoch finishes.
+	Pipeline bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 160
+	}
+	if c.NumLoadBalancers <= 0 {
+		c.NumLoadBalancers = 1
+	}
+	if c.NumSubORAMs <= 0 {
+		c.NumSubORAMs = 1
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 128
+	}
+}
+
+// EpochStats describes one completed epoch.
+type EpochStats struct {
+	Epoch       uint64
+	Requests    int           // real client requests processed
+	BatchSize   int           // max per-subORAM batch size α across LBs
+	Dropped     int           // Theorem-3 overflow victims (expect 0)
+	MakeBatch   time.Duration // max across load balancers
+	SubORAM     time.Duration // max across subORAMs (sum over LB batches)
+	Match       time.Duration // max across load balancers
+	Wall        time.Duration // end-to-end epoch time
+	LBWall      []time.Duration
+	SubORAMWall []time.Duration
+}
+
+// result is what a waiting client receives.
+type result struct {
+	value []byte
+	found bool
+	err   error
+}
+
+type pending struct {
+	op   uint8
+	key  uint64
+	user uint64
+	data []byte
+	ch   chan result
+}
+
+type lbState struct {
+	lb *loadbalancer.LoadBalancer
+
+	mu      sync.Mutex
+	queue   []pending
+	nextSeq uint64
+}
+
+// System is a running Snoopy deployment.
+type System struct {
+	cfg  Config
+	lbs  []*lbState
+	subs []SubORAMClient
+
+	epochMu sync.Mutex // serializes epoch rounds (stage A)
+	epoch   uint64
+
+	statsMu    sync.Mutex
+	lastEp     EpochStats
+	totalDrops uint64
+
+	// Pipelined mode: stage A feeds jobs to a worker running stage B in
+	// epoch order; stage C runs concurrently per epoch.
+	jobs     chan *epochJob
+	pipeDone chan struct{}
+	cWG      sync.WaitGroup
+	pipeOff  bool // set at Close; guarded by epochMu
+
+	closed   chan struct{}
+	closeOne sync.Once
+	ticker   *time.Ticker
+	wg       sync.WaitGroup
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	// acl, when set, enforces the Appendix-D access-control matrix via a
+	// recursive Snoopy instance.
+	acl *aclState
+}
+
+// NewLocal creates a deployment whose subORAMs run in-process.
+func NewLocal(cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	subs := make([]SubORAMClient, cfg.NumSubORAMs)
+	for i := range subs {
+		subs[i] = suboram.New(suboram.Config{
+			BlockSize: cfg.BlockSize,
+			Workers:   cfg.SubORAMWorkers,
+			Strict:    cfg.Strict,
+			Sealed:    cfg.Sealed,
+		})
+	}
+	return NewWithSubORAMs(cfg, subs)
+}
+
+// NewWithSubORAMs creates a deployment over caller-provided partitions
+// (e.g. remote subORAMs reached over a transport).
+func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
+	cfg.fillDefaults()
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("core: need at least one subORAM")
+	}
+	cfg.NumSubORAMs = len(subs)
+	key, err := crypt.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		cfg:    cfg,
+		subs:   subs,
+		closed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for i := 0; i < cfg.NumLoadBalancers; i++ {
+		sys.lbs = append(sys.lbs, &lbState{
+			lb: loadbalancer.New(loadbalancer.Config{
+				BlockSize:   cfg.BlockSize,
+				NumSubORAMs: cfg.NumSubORAMs,
+				Lambda:      cfg.Lambda,
+				SortWorkers: cfg.SortWorkers,
+			}, key),
+		})
+	}
+	if cfg.Pipeline {
+		sys.jobs = make(chan *epochJob, 2)
+		sys.pipeDone = make(chan struct{})
+		go sys.pipelineWorker()
+	}
+	if cfg.EpochDuration > 0 {
+		sys.ticker = time.NewTicker(cfg.EpochDuration)
+		sys.wg.Add(1)
+		go func() {
+			defer sys.wg.Done()
+			for {
+				select {
+				case <-sys.closed:
+					return
+				case <-sys.ticker.C:
+					sys.Flush()
+				}
+			}
+		}()
+	}
+	return sys, nil
+}
+
+// Init partitions the object set across subORAMs and loads them (paper
+// Fig. 23). Must be called before any request.
+func (sys *System) Init(ids []uint64, data []byte) error {
+	partIDs, partData, err := sys.lbs[0].lb.Partition(ids, data)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sys.subs))
+	for s := range sys.subs {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[s] = sys.subs[s].Init(partIDs[s], partData[s])
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close stops the epoch ticker and fails all pending requests.
+func (sys *System) Close() {
+	sys.closeOne.Do(func() {
+		close(sys.closed)
+		if sys.ticker != nil {
+			sys.ticker.Stop()
+		}
+	})
+	sys.wg.Wait()
+	if sys.cfg.Pipeline {
+		sys.epochMu.Lock()
+		if !sys.pipeOff {
+			sys.pipeOff = true
+			close(sys.jobs)
+		}
+		sys.epochMu.Unlock()
+		<-sys.pipeDone
+	}
+	sys.closeACL()
+	// Fail whatever is still queued.
+	for _, st := range sys.lbs {
+		st.mu.Lock()
+		q := st.queue
+		st.queue = nil
+		st.mu.Unlock()
+		for _, p := range q {
+			p.ch <- result{err: ErrClosed}
+		}
+	}
+}
+
+// submit enqueues a request with a uniformly chosen load balancer (paper
+// §4.3: "clients randomly choose one load balancer to contact").
+func (sys *System) submit(op uint8, key uint64, data []byte) (chan result, error) {
+	return sys.submitAs(0, op, key, data)
+}
+
+func (sys *System) submitAs(user uint64, op uint8, key uint64, data []byte) (chan result, error) {
+	select {
+	case <-sys.closed:
+		return nil, ErrClosed
+	default:
+	}
+	if key >= store.DummyKeyBit {
+		return nil, fmt.Errorf("core: key %#x in reserved dummy space", key)
+	}
+	if len(data) > sys.cfg.BlockSize {
+		return nil, fmt.Errorf("core: value length %d exceeds block size %d", len(data), sys.cfg.BlockSize)
+	}
+	sys.rngMu.Lock()
+	st := sys.lbs[sys.rng.Intn(len(sys.lbs))]
+	sys.rngMu.Unlock()
+	ch := make(chan result, 1)
+	st.mu.Lock()
+	st.queue = append(st.queue, pending{op: op, key: key, user: user, data: data, ch: ch})
+	st.mu.Unlock()
+	return ch, nil
+}
+
+// Read submits a read and blocks until its epoch completes. found reports
+// whether the key exists in the store.
+func (sys *System) Read(key uint64) (value []byte, found bool, err error) {
+	ch, err := sys.submit(store.OpRead, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	r := <-ch
+	return r.value, r.found, r.err
+}
+
+// Write submits a write and blocks until its epoch completes. The returned
+// previous value is the object's value at the start of the write's epoch
+// (the paper's OStoreBatchAccess semantics: every deduplicated request for
+// a key shares one response carrying the pre-batch value) — NOT an atomic
+// read-modify-write. Writes to keys not loaded at Init are no-ops with
+// found == false.
+func (sys *System) Write(key uint64, value []byte) (previous []byte, found bool, err error) {
+	ch, err := sys.submit(store.OpWrite, key, value)
+	if err != nil {
+		return nil, false, err
+	}
+	r := <-ch
+	return r.value, r.found, r.err
+}
+
+// ReadAsync and WriteAsync submit without blocking; the returned function
+// blocks for the outcome. Used by throughput benchmarks.
+func (sys *System) ReadAsync(key uint64) (func() ([]byte, bool, error), error) {
+	ch, err := sys.submit(store.OpRead, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, bool, error) { r := <-ch; return r.value, r.found, r.err }, nil
+}
+
+// WriteAsync submits a write without blocking.
+func (sys *System) WriteAsync(key uint64, value []byte) (func() ([]byte, bool, error), error) {
+	ch, err := sys.submit(store.OpWrite, key, value)
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, bool, error) { r := <-ch; return r.value, r.found, r.err }, nil
+}
+
+// lbEpoch is one load balancer's stage-A output for an epoch.
+type lbEpoch struct {
+	reqs    *store.Requests
+	batches *loadbalancer.Batches
+	err     error
+	wall    time.Duration
+}
+
+// epochJob carries one epoch through the processing stages.
+type epochJob struct {
+	id     uint64
+	t0     time.Time
+	queues [][]pending
+	eps    []lbEpoch
+	denied [][]uint8
+	aclErr error
+
+	responses [][]*store.Requests // [lb][sub]
+	subWall   []time.Duration
+	subErr    []error
+}
+
+// Flush runs one epoch. In the default synchronous mode it batches,
+// executes, matches, and replies before returning. In pipelined mode
+// (Config.Pipeline) it performs stage A (snapshot + batching) and
+// dispatches the rest; stages overlap across epochs exactly as the
+// paper's throughput equation assumes.
+func (sys *System) Flush() {
+	sys.epochMu.Lock()
+	job := sys.stageA()
+	if sys.cfg.Pipeline && !sys.pipeOff {
+		// Blocking send applies backpressure when the pipeline is full.
+		sys.jobs <- job
+		sys.epochMu.Unlock()
+		return
+	}
+	sys.epochMu.Unlock()
+	sys.stageB(job)
+	sys.stageC(job)
+}
+
+// stageA snapshots the queues, resolves ACL permissions, and builds every
+// load balancer's batches. Caller holds epochMu.
+func (sys *System) stageA() *epochJob {
+	L := len(sys.lbs)
+	sys.epoch++
+	job := &epochJob{id: sys.epoch, t0: time.Now(), queues: make([][]pending, L)}
+	for i, st := range sys.lbs {
+		st.mu.Lock()
+		job.queues[i] = st.queue
+		st.queue = nil
+		st.mu.Unlock()
+	}
+
+	// With access control enabled, resolve permissions first through the
+	// recursive ACL instance (paper §D: two epochs per operation).
+	job.denied, job.aclErr = sys.applyACL(job.queues)
+
+	job.eps = make([]lbEpoch, L)
+	var wg sync.WaitGroup
+	for i := range sys.lbs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.Now()
+			q := job.queues[i]
+			reqs := store.NewRequests(len(q), sys.cfg.BlockSize)
+			for j, p := range q {
+				reqs.SetRow(j, p.op, p.key, 0, uint64(j), uint64(j), p.data)
+			}
+			b, err := sys.lbs[i].lb.MakeBatches(reqs)
+			job.eps[i] = lbEpoch{reqs: reqs, batches: b, err: err, wall: time.Since(t)}
+		}()
+	}
+	wg.Wait()
+	return job
+}
+
+// stageB executes the epoch's batches: every subORAM processes the L
+// batches in fixed load-balancer order; subORAMs run in parallel with each
+// other. Must be invoked in epoch order.
+func (sys *System) stageB(job *epochJob) {
+	L := len(sys.lbs)
+	S := len(sys.subs)
+	job.responses = make([][]*store.Requests, L)
+	for i := range job.responses {
+		job.responses[i] = make([]*store.Requests, S)
+	}
+	job.subWall = make([]time.Duration, S)
+	job.subErr = make([]error, S)
+	var wg sync.WaitGroup
+	for s := range sys.subs {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.Now()
+			for i := 0; i < L; i++ {
+				if job.eps[i].err != nil || job.eps[i].batches == nil {
+					continue
+				}
+				out, err := sys.subs[s].BatchAccess(job.eps[i].batches.For(s))
+				if err != nil {
+					job.subErr[s] = err
+					return
+				}
+				job.responses[i][s] = out
+			}
+			job.subWall[s] = time.Since(t)
+		}()
+	}
+	wg.Wait()
+}
+
+// stageC matches responses, replies to clients, and records stats. Safe to
+// run concurrently across epochs.
+func (sys *System) stageC(job *epochJob) {
+	L := len(sys.lbs)
+	S := len(sys.subs)
+	matchWall := make([]time.Duration, L)
+	var wg sync.WaitGroup
+	for i := range sys.lbs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.Now()
+			defer func() { matchWall[i] = time.Since(t) }()
+			q := job.queues[i]
+			if len(q) == 0 {
+				return
+			}
+			fail := func(err error) {
+				for _, p := range q {
+					p.ch <- result{err: err}
+				}
+			}
+			if job.aclErr != nil {
+				fail(job.aclErr)
+				return
+			}
+			if job.eps[i].err != nil {
+				fail(job.eps[i].err)
+				return
+			}
+			if err := errors.Join(job.subErr...); err != nil {
+				fail(err)
+				return
+			}
+			all := job.responses[i][0]
+			for s := 1; s < S; s++ {
+				all = store.Concat(all, job.responses[i][s])
+			}
+			matched, err := sys.lbs[i].lb.MatchResponses(all, job.eps[i].reqs)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for j := 0; j < matched.Len(); j++ {
+				p := q[matched.Client[j]]
+				val := append([]byte(nil), matched.Block(j)...)
+				found := matched.Aux[j]
+				if job.denied != nil && job.denied[i] != nil {
+					nullDenied(val, &found, job.denied[i][matched.Client[j]])
+				}
+				p.ch <- result{value: val, found: found == 1}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Record stats.
+	st := EpochStats{Epoch: job.id, Wall: time.Since(job.t0)}
+	for i := range sys.lbs {
+		st.Requests += len(job.queues[i])
+		if job.eps[i].batches != nil {
+			if job.eps[i].batches.PerSub > st.BatchSize {
+				st.BatchSize = job.eps[i].batches.PerSub
+			}
+			st.Dropped += job.eps[i].batches.Dropped
+		}
+		lbStats := sys.lbs[i].lb.LastStats()
+		if lbStats.MakeBatch > st.MakeBatch {
+			st.MakeBatch = lbStats.MakeBatch
+		}
+		if lbStats.Match > st.Match {
+			st.Match = lbStats.Match
+		}
+		st.LBWall = append(st.LBWall, job.eps[i].wall)
+	}
+	for s := range sys.subs {
+		if job.subWall[s] > st.SubORAM {
+			st.SubORAM = job.subWall[s]
+		}
+		st.SubORAMWall = append(st.SubORAMWall, job.subWall[s])
+	}
+	sys.statsMu.Lock()
+	sys.totalDrops += uint64(st.Dropped)
+	if st.Epoch >= sys.lastEp.Epoch {
+		sys.lastEp = st
+	}
+	sys.statsMu.Unlock()
+}
+
+// pipelineWorker drives stages B and C for dispatched epochs, preserving
+// subORAM epoch order while overlapping match/reply with the next epoch.
+func (sys *System) pipelineWorker() {
+	defer close(sys.pipeDone)
+	for job := range sys.jobs {
+		sys.stageB(job)
+		job := job
+		sys.cWG.Add(1)
+		go func() {
+			defer sys.cWG.Done()
+			sys.stageC(job)
+		}()
+	}
+	sys.cWG.Wait()
+}
+
+// LastEpochStats returns statistics for the most recent completed epoch.
+func (sys *System) LastEpochStats() EpochStats {
+	sys.statsMu.Lock()
+	defer sys.statsMu.Unlock()
+	return sys.lastEp
+}
+
+// TotalDropped returns the cumulative count of requests dropped by batch
+// overflow across all epochs (the Theorem-3 negligible event; expect 0).
+func (sys *System) TotalDropped() uint64 {
+	sys.statsMu.Lock()
+	defer sys.statsMu.Unlock()
+	return sys.totalDrops
+}
+
+// NumSubORAMs returns S.
+func (sys *System) NumSubORAMs() int { return len(sys.subs) }
+
+// NumLoadBalancers returns L.
+func (sys *System) NumLoadBalancers() int { return len(sys.lbs) }
+
+// BlockSize returns the configured value size.
+func (sys *System) BlockSize() int { return sys.cfg.BlockSize }

@@ -1,0 +1,146 @@
+// Package crypt provides the cryptographic tools Snoopy relies on (paper
+// §3.1, §7): authenticated encryption with a strict nonce discipline for all
+// inter-node and sealed-storage traffic, and a keyed cryptographic hash used
+// to assign objects to subORAMs and hash-table buckets (§4.1, §5).
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// KeySize is the byte length of all symmetric keys (AES-256 / HMAC keys).
+const KeySize = 32
+
+// NonceSize is the AES-GCM nonce length in bytes.
+const NonceSize = 12
+
+// Overhead is the ciphertext expansion of Seal: nonce plus GCM tag.
+const Overhead = NonceSize + 16
+
+// ErrAuth is returned when decryption or digest verification fails,
+// indicating tampering by the untrusted host.
+var ErrAuth = errors.New("crypt: authentication failure")
+
+// Key is a symmetric secret key.
+type Key [KeySize]byte
+
+// NewKey samples a fresh random key.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypt: sampling key: %w", err)
+	}
+	return k, nil
+}
+
+// MustNewKey is NewKey for contexts (tests, examples) where entropy failure
+// is fatal anyway.
+func MustNewKey() Key {
+	k, err := NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Sealer performs authenticated encryption with a monotone nonce counter,
+// preventing both forgery and replay of messages within a channel (paper
+// §3.1: "all communication is encrypted using an authenticated encryption
+// scheme with a nonce to prevent replay attacks"). A Sealer is safe for
+// concurrent use.
+type Sealer struct {
+	aead    cipher.AEAD
+	counter atomic.Uint64
+	channel uint32
+}
+
+// NewSealer builds a Sealer for the given key. The channel id is folded into
+// every nonce so that distinct channels sharing a key never collide.
+func NewSealer(key Key, channel uint32) (*Sealer, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	return &Sealer{aead: aead, channel: channel}, nil
+}
+
+// Seal encrypts and authenticates plaintext with the given associated data,
+// returning nonce||ciphertext||tag. Each call consumes a fresh nonce.
+func (s *Sealer) Seal(plaintext, aad []byte) []byte {
+	var nonce [NonceSize]byte
+	binary.LittleEndian.PutUint32(nonce[0:4], s.channel)
+	binary.LittleEndian.PutUint64(nonce[4:12], s.counter.Add(1))
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+16)
+	copy(out, nonce[:])
+	return s.aead.Seal(out, nonce[:], plaintext, aad)
+}
+
+// Open authenticates and decrypts a message produced by Seal with the same
+// key and associated data.
+func (s *Sealer) Open(msg, aad []byte) ([]byte, error) {
+	if len(msg) < NonceSize {
+		return nil, ErrAuth
+	}
+	pt, err := s.aead.Open(nil, msg[:NonceSize], msg[NonceSize:], aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// Hasher is the keyed cryptographic hash H_k of the paper: it maps object
+// identifiers to [range) such that, without the key, the attacker cannot
+// predict or bias assignments (§4.1: "requests are randomly distributed by
+// using a keyed hash function where the attacker does not know the key").
+type Hasher struct {
+	key Key
+}
+
+// NewHasher builds a keyed hasher.
+func NewHasher(key Key) *Hasher { return &Hasher{key: key} }
+
+// Sum64 returns the full 64-bit keyed hash of id.
+func (h *Hasher) Sum64(id uint64) uint64 {
+	mac := hmac.New(sha256.New, h.key[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], id)
+	mac.Write(buf[:])
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8])
+}
+
+// Bucket maps id to a bucket index in [0, n). n must be positive.
+func (h *Hasher) Bucket(id uint64, n int) uint32 {
+	if n <= 0 {
+		panic("crypt: Bucket range must be positive")
+	}
+	// Multiply-shift reduction avoids modulo bias beyond 2^-32 for the
+	// bucket counts used here (n << 2^32).
+	v := h.Sum64(id)
+	return uint32((v >> 32) * uint64(n) >> 32)
+}
+
+// Digest is a SHA-256 content digest used for integrity of enclave-external
+// memory (paper §2: "for memory outside the enclave, we store a digest of
+// each block inside the enclave").
+type Digest [sha256.Size]byte
+
+// DigestOf computes the digest of b.
+func DigestOf(b []byte) Digest { return sha256.Sum256(b) }
+
+// Verify reports whether b matches the digest, in constant time.
+func (d Digest) Verify(b []byte) bool {
+	got := sha256.Sum256(b)
+	return hmac.Equal(got[:], d[:])
+}

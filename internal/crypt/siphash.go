@@ -1,0 +1,85 @@
+package crypt
+
+import "encoding/binary"
+
+// SipKey is a 128-bit key for SipHash-2-4.
+type SipKey [2]uint64
+
+// NewSipKey derives a SipHash key from 16 random bytes.
+func NewSipKey() (SipKey, error) {
+	k, err := NewKey()
+	if err != nil {
+		return SipKey{}, err
+	}
+	return SipKey{
+		binary.LittleEndian.Uint64(k[0:8]),
+		binary.LittleEndian.Uint64(k[8:16]),
+	}, nil
+}
+
+// MustNewSipKey panics on entropy failure.
+func MustNewSipKey() SipKey {
+	k, err := NewSipKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// SipHash computes SipHash-2-4 of an 8-byte message (the object identifier).
+// It is the fast keyed PRF used to assign requests to hash-table buckets;
+// the key is resampled for every batch (paper §5: "for every batch we sample
+// a new key ... for the keyed hash function assigning objects to buckets").
+func SipHash(k SipKey, id uint64) uint64 {
+	v0 := k[0] ^ 0x736f6d6570736575
+	v1 := k[1] ^ 0x646f72616e646f6d
+	v2 := k[0] ^ 0x6c7967656e657261
+	v3 := k[1] ^ 0x7465646279746573
+
+	round := func() {
+		v0 += v1
+		v1 = v1<<13 | v1>>51
+		v1 ^= v0
+		v0 = v0<<32 | v0>>32
+		v2 += v3
+		v3 = v3<<16 | v3>>48
+		v3 ^= v2
+		v0 += v3
+		v3 = v3<<21 | v3>>43
+		v3 ^= v0
+		v2 += v1
+		v1 = v1<<17 | v1>>47
+		v1 ^= v2
+		v2 = v2<<32 | v2>>32
+	}
+
+	// One 8-byte block.
+	v3 ^= id
+	round()
+	round()
+	v0 ^= id
+
+	// Length block: message length 8, i.e. 8<<56.
+	b := uint64(8) << 56
+	v3 ^= b
+	round()
+	round()
+	v0 ^= b
+
+	// Finalization.
+	v2 ^= 0xff
+	round()
+	round()
+	round()
+	round()
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+// SipBucket maps id to [0, n) using SipHash with multiply-shift reduction.
+func SipBucket(k SipKey, id uint64, n int) uint32 {
+	if n <= 0 {
+		panic("crypt: SipBucket range must be positive")
+	}
+	v := SipHash(k, id)
+	return uint32((v >> 32) * uint64(n) >> 32)
+}

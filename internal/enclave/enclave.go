@@ -1,0 +1,204 @@
+// Package enclave implements the abstract enclave model Snoopy is proven
+// secure against (paper §2, §B.1): the attacker controls everything outside
+// the enclave, can read/modify enclave-external memory, and observes access
+// patterns — but cannot see data inside the processor.
+//
+// Since Go has no production SGX runtime, this package *is* the substrate
+// substitution recorded in DESIGN.md: it provides
+//
+//   - SealedStore: enclave-external block storage, encrypted with
+//     authenticated encryption and integrity-checked against digests kept
+//     "inside" the enclave (paper §2 "Data integrity", §7 paging
+//     optimization), and
+//   - simulated remote attestation: a measurement-binding report a client
+//     verifies before keying a channel (paper §3.1).
+//
+// The access-pattern side of the model is exercised by internal/trace.
+package enclave
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"snoopy/internal/crypt"
+)
+
+// ErrIntegrity is returned when external memory fails authentication — the
+// untrusted host tampered with or rolled back a block.
+var ErrIntegrity = errors.New("enclave: external memory integrity violation")
+
+// SealedStore is a fixed-geometry array of value blocks held in untrusted
+// (enclave-external) memory. Every block is encrypted and authenticated; a
+// per-block digest of the current ciphertext lives in trusted memory, so
+// replaying an old (validly encrypted) block is detected — the freshness
+// check the paper performs with in-enclave digests.
+//
+// Reads and writes of distinct blocks may proceed concurrently.
+type SealedStore struct {
+	blockSize int
+	n         int
+
+	sealer *crypt.Sealer
+
+	// Untrusted region: ciphertexts, fixed stride.
+	ext []byte
+	// Trusted region: per-block digests of the current ciphertext.
+	digests []crypt.Digest
+	// Per-block write locks (digest+ciphertext must update atomically).
+	locks []sync.Mutex
+}
+
+const sealedStride = crypt.Overhead
+
+// NewSealedStore creates a store of n zeroed blocks of blockSize bytes,
+// sealed under a fresh key.
+func NewSealedStore(n, blockSize int) (*SealedStore, error) {
+	if n < 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("enclave: invalid store geometry n=%d block=%d", n, blockSize)
+	}
+	sealer, err := crypt.NewSealer(crypt.MustNewKey(), 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &SealedStore{
+		blockSize: blockSize,
+		n:         n,
+		sealer:    sealer,
+		ext:       make([]byte, n*(blockSize+sealedStride)),
+		digests:   make([]crypt.Digest, n),
+		locks:     make([]sync.Mutex, n),
+	}
+	zero := make([]byte, blockSize)
+	for i := 0; i < n; i++ {
+		s.writeLocked(i, zero)
+	}
+	return s, nil
+}
+
+// NumBlocks returns the number of blocks.
+func (s *SealedStore) NumBlocks() int { return s.n }
+
+// BlockSize returns the block size in bytes.
+func (s *SealedStore) BlockSize() int { return s.blockSize }
+
+func (s *SealedStore) slot(i int) []byte {
+	stride := s.blockSize + sealedStride
+	return s.ext[i*stride : (i+1)*stride]
+}
+
+func aadFor(i int) []byte {
+	return []byte(fmt.Sprintf("block/%d", i))
+}
+
+// Read decrypts block i into dst (len >= blockSize), verifying both the
+// AEAD tag and the freshness digest.
+func (s *SealedStore) Read(i int, dst []byte) error {
+	s.locks[i].Lock()
+	ct := append([]byte(nil), s.slot(i)...)
+	d := s.digests[i]
+	s.locks[i].Unlock()
+	if !d.Verify(ct) {
+		return fmt.Errorf("%w: block %d replayed or corrupted", ErrIntegrity, i)
+	}
+	pt, err := s.sealer.Open(ct, aadFor(i))
+	if err != nil {
+		return fmt.Errorf("%w: block %d: %v", ErrIntegrity, i, err)
+	}
+	copy(dst, pt)
+	return nil
+}
+
+// Write re-encrypts block i with src. Every scan writes every block back
+// (whether or not it changed), so ciphertext churn is data-independent.
+func (s *SealedStore) Write(i int, src []byte) {
+	s.locks[i].Lock()
+	s.writeLocked(i, src)
+	s.locks[i].Unlock()
+}
+
+func (s *SealedStore) writeLocked(i int, src []byte) {
+	ct := s.sealer.Seal(src[:s.blockSize], aadFor(i))
+	copy(s.slot(i), ct)
+	s.digests[i] = crypt.DigestOf(ct)
+}
+
+// Corrupt flips a bit in the external ciphertext of block i — a test hook
+// standing in for host tampering.
+func (s *SealedStore) Corrupt(i int) { s.slot(i)[3] ^= 1 }
+
+// Rollback restores the external bytes of block i to a previously captured
+// snapshot without updating the trusted digest — a replay attack. Returns
+// the current external bytes for later replay.
+func (s *SealedStore) Snapshot(i int) []byte {
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return append([]byte(nil), s.slot(i)...)
+}
+
+// Replay overwrites block i's external bytes with a snapshot.
+func (s *SealedStore) Replay(i int, snap []byte) {
+	s.locks[i].Lock()
+	copy(s.slot(i), snap)
+	s.locks[i].Unlock()
+}
+
+// ---- Simulated remote attestation ----
+
+// Measurement identifies the program loaded into an enclave (MRENCLAVE).
+type Measurement [sha256.Size]byte
+
+// Measure hashes a program description into a Measurement.
+func Measure(program string) Measurement { return sha256.Sum256([]byte(program)) }
+
+// Platform simulates the hardware vendor's attestation root: enclaves on
+// the same platform can produce reports that verifiers holding the platform
+// identity can check. (A real deployment would verify vendor signatures;
+// the MAC stands in for that chain.)
+type Platform struct {
+	root crypt.Key
+}
+
+// NewPlatform creates an attestation root.
+func NewPlatform() *Platform { return &Platform{root: crypt.MustNewKey()} }
+
+// NewPlatformFromKey builds a platform from a shared root key so separate
+// processes (cmd/snoopy-server, cmd/snoopy-client) can agree on one
+// simulated attestation authority.
+func NewPlatformFromKey(root crypt.Key) *Platform { return &Platform{root: root} }
+
+// Report binds a measurement and channel-key fingerprint to the platform.
+type Report struct {
+	Measurement Measurement
+	KeyHash     crypt.Digest
+	MAC         [sha256.Size]byte
+}
+
+// Attest produces a report for an enclave running `program` that is
+// offering the channel key fingerprint keyHash.
+func (p *Platform) Attest(m Measurement, keyHash crypt.Digest) Report {
+	mac := hmac.New(sha256.New, p.root[:])
+	mac.Write(m[:])
+	mac.Write(keyHash[:])
+	var r Report
+	r.Measurement = m
+	r.KeyHash = keyHash
+	copy(r.MAC[:], mac.Sum(nil))
+	return r
+}
+
+// Verify checks a report against an expected measurement.
+func (p *Platform) Verify(r Report, want Measurement) error {
+	if r.Measurement != want {
+		return fmt.Errorf("enclave: measurement mismatch")
+	}
+	mac := hmac.New(sha256.New, p.root[:])
+	mac.Write(r.Measurement[:])
+	mac.Write(r.KeyHash[:])
+	if !hmac.Equal(mac.Sum(nil), r.MAC[:]) {
+		return fmt.Errorf("enclave: attestation MAC invalid")
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"snoopy/internal/planner"
+)
+
+// tinyScale keeps figure smoke tests fast.
+func tinyScale() Scale {
+	return Scale{Objects: 1 << 12, Block: 32, KTUsers: 1 << 10, Workers: 2, Lambda: 64}
+}
+
+func TestAnalyticFigures(t *testing.T) {
+	var b strings.Builder
+	Fig3(&b, tinyScale())
+	Fig4(&b, tinyScale())
+	Table8(&b)
+	out := b.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "Table 8", "S=20", "no-security", "Snoopy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasuredModelShape(t *testing.T) {
+	m := measureModel(32, 64, 2)
+	if m.LBTime(1000, 4) <= 0 {
+		t.Fatal("LBTime degenerate")
+	}
+	small := m.SubTime(256, 1<<12)
+	big := m.SubTime(256, 1<<16)
+	if big <= small {
+		t.Fatalf("scan cost not increasing: %v vs %v", small, big)
+	}
+	if m.LBTime(10000, 4) <= m.LBTime(100, 4) {
+		t.Fatal("LB cost not increasing in load")
+	}
+}
+
+func TestBestSplitPrefersFeasible(t *testing.T) {
+	m := measureModel(32, 64, 2)
+	req := planner.Requirements{Objects: 1 << 14, BlockSize: 32, MaxLatency: time.Second, Lambda: 64}
+	lbs, subs, x := bestSplit(req, m, 6)
+	if lbs < 1 || subs < 1 || lbs+subs != 6 || x <= 0 {
+		t.Fatalf("bad split: %d+%d x=%f", lbs, subs, x)
+	}
+	// Throughput should not decrease with more machines.
+	_, _, x12 := bestSplit(req, m, 12)
+	if x12 < x {
+		t.Fatalf("throughput fell with more machines: %f -> %f", x, x12)
+	}
+}
+
+func TestFig12And13Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured figures")
+	}
+	var b strings.Builder
+	sc := tinyScale()
+	Fig12(&b, sc)
+	Fig13a(&b, sc)
+	if !strings.Contains(b.String(), "make batch") || !strings.Contains(b.String(), "adaptive") {
+		t.Fatalf("figure output malformed:\n%s", b.String())
+	}
+}
+
+func TestBaselineMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured baselines")
+	}
+	x, lat := measureObladi(1<<10, 32)
+	if x <= 0 || lat <= 0 {
+		t.Fatal("obladi measurement degenerate")
+	}
+	x2, lat2 := measureOblix(1<<10, 32)
+	if x2 <= 0 || lat2 <= 0 {
+		t.Fatal("oblix measurement degenerate")
+	}
+	// Oblix is sequential: per-request latency low, throughput low.
+	if x2 > x*100 {
+		t.Fatalf("oblix throughput suspiciously high: %f vs obladi %f", x2, x)
+	}
+}
+
+// TestRemainingFiguresRun smoke-tests every figure function at tiny scale
+// so harness regressions show up in `go test` rather than only in the CLI.
+func TestRemainingFiguresRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured figures")
+	}
+	sc := tinyScale()
+	for _, f := range []struct {
+		name string
+		run  func(*strings.Builder)
+	}{
+		{"Fig9b", func(b *strings.Builder) { Fig9b(b, sc) }},
+		{"Fig11a", func(b *strings.Builder) { Fig11a(b, sc) }},
+		{"Fig11b", func(b *strings.Builder) { Fig11b(b, sc) }},
+		{"Fig13b", func(b *strings.Builder) { Fig13b(b, sc) }},
+		{"Fig14", func(b *strings.Builder) { Fig14(b, sc) }},
+		{"Headline", func(b *strings.Builder) { Headline(b, sc) }},
+	} {
+		var b strings.Builder
+		f.run(&b)
+		if len(b.String()) < 50 || !strings.Contains(b.String(), "#") {
+			t.Fatalf("%s produced implausible output:\n%s", f.name, b.String())
+		}
+	}
+}

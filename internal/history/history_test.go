@@ -1,0 +1,92 @@
+package history
+
+import "testing"
+
+func TestSequentialHistory(t *testing.T) {
+	ops := []Op{
+		{Key: 1, Write: true, Input: "a", Output: "", Start: 0, End: 1},
+		{Key: 1, Write: false, Output: "a", Start: 2, End: 3},
+		{Key: 1, Write: true, Input: "b", Output: "a", Start: 4, End: 5},
+		{Key: 1, Write: false, Output: "b", Start: 6, End: 7},
+	}
+	if !CheckLinearizable(nil, ops) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	ops := []Op{
+		{Key: 1, Write: true, Input: "a", Output: "", Start: 0, End: 1},
+		{Key: 1, Write: false, Output: "", Start: 2, End: 3}, // stale: must see "a"
+	}
+	if CheckLinearizable(nil, ops) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentWriteEitherOrder(t *testing.T) {
+	// Two overlapping writes; a later read may see either, but the write
+	// outputs (pre-write values) must be consistent with the chosen order.
+	ops := []Op{
+		{Key: 1, Write: true, Input: "a", Output: "", Start: 0, End: 10},
+		{Key: 1, Write: true, Input: "b", Output: "a", Start: 1, End: 9},
+		{Key: 1, Write: false, Output: "b", Start: 11, End: 12},
+	}
+	if !CheckLinearizable(nil, ops) {
+		t.Fatal("valid overlapping-write history rejected")
+	}
+	// Read of "a" with write outputs pinning a-then-b is invalid.
+	ops[2].Output = "a"
+	if CheckLinearizable(nil, ops) {
+		t.Fatal("inconsistent read accepted")
+	}
+}
+
+func TestConcurrentReadDuringWrite(t *testing.T) {
+	ops := []Op{
+		{Key: 1, Write: true, Input: "x", Output: "", Start: 0, End: 10},
+		{Key: 1, Write: false, Output: "", Start: 1, End: 2},  // before the write lands
+		{Key: 1, Write: false, Output: "x", Start: 3, End: 4}, // after
+	}
+	if !CheckLinearizable(nil, ops) {
+		t.Fatal("read-during-write history rejected")
+	}
+}
+
+func TestRealTimeOrderViolation(t *testing.T) {
+	// w(a) fully precedes w(b); a final read sees "a" — b was lost.
+	ops := []Op{
+		{Key: 1, Write: true, Input: "a", Output: "", Start: 0, End: 1},
+		{Key: 1, Write: true, Input: "b", Output: "a", Start: 2, End: 3},
+		{Key: 1, Write: false, Output: "a", Start: 4, End: 5},
+	}
+	if CheckLinearizable(nil, ops) {
+		t.Fatal("lost write accepted")
+	}
+}
+
+func TestInitialValues(t *testing.T) {
+	ops := []Op{{Key: 7, Write: false, Output: "seed", Start: 0, End: 1}}
+	if !CheckLinearizable(map[uint64]string{7: "seed"}, ops) {
+		t.Fatal("initial value not honoured")
+	}
+	if CheckLinearizable(map[uint64]string{7: "other"}, ops) {
+		t.Fatal("wrong initial value accepted")
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	ops := []Op{
+		{Key: 1, Write: true, Input: "a", Output: "", Start: 0, End: 1},
+		{Key: 2, Write: false, Output: "", Start: 2, End: 3}, // key 2 never written
+	}
+	if !CheckLinearizable(nil, ops) {
+		t.Fatal("independent keys conflated")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !CheckLinearizable(nil, nil) {
+		t.Fatal("empty history rejected")
+	}
+}

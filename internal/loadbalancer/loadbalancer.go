@@ -1,0 +1,280 @@
+// Package loadbalancer implements Snoopy's oblivious load balancer (paper
+// §4): it turns the requests received during an epoch into one equal-sized,
+// deduplicated, dummy-padded batch per subORAM (Fig. 5, Fig. 25), and
+// obliviously matches the subORAM responses back to the original client
+// requests (Fig. 6).
+//
+// Load balancers are stateless between epochs and share only the long-term
+// keyed hash key that assigns objects to subORAMs, so any number of them
+// can run independently and in parallel (§4.3).
+package loadbalancer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snoopy/internal/batch"
+	"snoopy/internal/crypt"
+	"snoopy/internal/obliv"
+	"snoopy/internal/store"
+	"snoopy/internal/trace"
+)
+
+// Config configures a load balancer.
+type Config struct {
+	// BlockSize is the object value size in bytes.
+	BlockSize int
+	// NumSubORAMs is S, the number of data partitions.
+	NumSubORAMs int
+	// Lambda is the security parameter for batch sizing (Theorem 3).
+	Lambda int
+	// SortWorkers bounds oblivious-sort parallelism; 0 means adaptive with
+	// GOMAXPROCS (paper Fig. 13a).
+	SortWorkers int
+	// Rec, when non-nil, records epoch access traces. Test-only; requires
+	// SortWorkers == 1.
+	Rec *trace.Recorder
+}
+
+// Stats records where an epoch's load-balancer time went (the "Load
+// balancer (make batch)" and "(match responses)" components of Fig. 12).
+type Stats struct {
+	MakeBatch time.Duration
+	Match     time.Duration
+}
+
+// LoadBalancer assembles and matches oblivious batches. Batch building
+// and response matching of different epochs may run concurrently
+// (pipelined mode); the methods themselves are stateless apart from the
+// mutex-guarded stats.
+type LoadBalancer struct {
+	cfg    Config
+	hasher *crypt.Hasher
+
+	statsMu sync.Mutex
+	last    Stats
+}
+
+// New creates a load balancer. key is the long-term object→subORAM hash key
+// shared by every load balancer in the deployment (paper §4.1: the keyed
+// hash "remains the same across epochs").
+func New(cfg Config, key crypt.Key) *LoadBalancer {
+	if cfg.BlockSize <= 0 || cfg.NumSubORAMs <= 0 {
+		panic("loadbalancer: BlockSize and NumSubORAMs must be positive")
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 128
+	}
+	return &LoadBalancer{cfg: cfg, hasher: crypt.NewHasher(key)}
+}
+
+// SubORAMFor returns the partition that stores id.
+func (lb *LoadBalancer) SubORAMFor(id uint64) int {
+	return int(lb.hasher.Bucket(id, lb.cfg.NumSubORAMs))
+}
+
+// Partition splits an object set across subORAMs for initialization (paper
+// Fig. 23). Initialization happens once, before any adversarially chosen
+// request, and the partition sizes are a function of the secret hash key
+// alone, so a plain (non-oblivious) split is simulatable; deployments that
+// want Fig. 23's fully oblivious initialization can sort with
+// store.BySubKey first.
+func (lb *LoadBalancer) Partition(ids []uint64, data []byte) (partIDs [][]uint64, partData [][]byte, err error) {
+	if len(data) != len(ids)*lb.cfg.BlockSize {
+		return nil, nil, fmt.Errorf("loadbalancer: data length %d != %d objects × %d",
+			len(data), len(ids), lb.cfg.BlockSize)
+	}
+	s := lb.cfg.NumSubORAMs
+	partIDs = make([][]uint64, s)
+	partData = make([][]byte, s)
+	for i, id := range ids {
+		p := lb.SubORAMFor(id)
+		partIDs[p] = append(partIDs[p], id)
+		partData[p] = append(partData[p], data[i*lb.cfg.BlockSize:(i+1)*lb.cfg.BlockSize]...)
+	}
+	return partIDs, partData, nil
+}
+
+// Batches is the output of MakeBatches: S equal batches laid out
+// subORAM-major in one record set.
+type Batches struct {
+	All *store.Requests // NumSubORAMs × PerSub rows
+	// PerSub is the per-subORAM batch size α = f(R,S).
+	PerSub int
+	// Dropped counts distinct real requests that exceeded a batch — the
+	// negligible-probability overflow event of Theorem 3.
+	Dropped int
+}
+
+// For returns the batch destined for subORAM s (a view, not a copy).
+func (b *Batches) For(s int) *store.Requests {
+	return b.All.View(s*b.PerSub, (s+1)*b.PerSub)
+}
+
+// MakeBatches obliviously builds the per-subORAM batches for one epoch from
+// the requests received (paper Fig. 5 / Fig. 25 lines 1–14). The caller
+// must have set Seq to the arrival order (for last-write-wins) and Client
+// to its routing cookie. reqs is not modified; duplicates are allowed.
+func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
+	t0 := time.Now()
+	defer func() {
+		lb.statsMu.Lock()
+		lb.last.MakeBatch = time.Since(t0)
+		lb.statsMu.Unlock()
+	}()
+
+	if reqs.BlockSize != lb.cfg.BlockSize {
+		return nil, fmt.Errorf("loadbalancer: block size %d != %d", reqs.BlockSize, lb.cfg.BlockSize)
+	}
+	n := reqs.Len()
+	s := lb.cfg.NumSubORAMs
+	alpha := batch.Size(n, s, lb.cfg.Lambda)
+	if alpha == 0 {
+		alpha = 1 // an idle epoch still sends one dummy per subORAM
+	}
+
+	// ➊ Assign each request to its subORAM; ➋ append α dummies per subORAM.
+	work := store.NewRequests(n+alpha*s, lb.cfg.BlockSize)
+	work.Rec = lb.cfg.Rec
+	for i := 0; i < n; i++ {
+		work.CopyRowPlain(i, reqs, i)
+		work.Sub[i] = uint32(lb.SubORAMFor(work.Key[i]))
+	}
+	d := n
+	for sub := 0; sub < s; sub++ {
+		for j := 0; j < alpha; j++ {
+			key := store.DummyKeyBit | uint64(sub)<<32 | uint64(j)
+			work.SetRow(d, store.OpRead, key, uint32(sub), 0, 0, nil)
+			d++
+		}
+	}
+
+	// ➌ Group into batches: sort by (subORAM, key, write-first, seq-desc).
+	// Dummy keys sink to the end of each group; duplicates become adjacent
+	// with the last-write-wins representative first.
+	obliv.SortAdaptive(store.BySubKeyWriteSeq{Requests: work}, lb.cfg.SortWorkers)
+
+	// ➍ Keep the first α distinct keys per subORAM, branch-free.
+	keep := make([]uint8, work.Len())
+	dropped := 0
+	var distinct uint64
+	prevSub := ^uint64(0)
+	prevKey := ^uint64(0)
+	for i := 0; i < work.Len(); i++ {
+		work.Touch(i)
+		sub := uint64(work.Sub[i])
+		key := work.Key[i]
+		newSub := obliv.NeqU64(sub, prevSub)
+		newKey := obliv.Or(newSub, obliv.NeqU64(key, prevKey))
+		distinct = obliv.SelectU64(newSub, distinct, 0)
+		k := newKey & obliv.LtU64(distinct, uint64(alpha))
+		keep[i] = k
+		// A distinct real key that did not fit is a dropped request.
+		isReal := obliv.Not(store.DummyMark(key))
+		dropped += int(newKey & obliv.Not(k) & isReal)
+		distinct += uint64(newKey)
+		prevSub, prevKey = sub, key
+	}
+	obliv.Compact(work, keep)
+
+	return &Batches{All: work.View(0, alpha*s).Clone(), PerSub: alpha, Dropped: dropped}, nil
+}
+
+// MatchResponses obliviously propagates subORAM responses to the original
+// client requests (paper Fig. 6 / Fig. 25 lines 18–26). responses is the
+// concatenation of every subORAM's response batch; reqs is the epoch's
+// original request list (duplicates included). The result has one row per
+// original request — same Key, Op, Seq, and Client cookie, with Data (and
+// the Aux found bit) carrying the response — in unspecified order.
+func (lb *LoadBalancer) MatchResponses(responses, reqs *store.Requests) (*store.Requests, error) {
+	t0 := time.Now()
+	defer func() {
+		lb.statsMu.Lock()
+		lb.last.Match = time.Since(t0)
+		lb.statsMu.Unlock()
+	}()
+
+	if responses.BlockSize != lb.cfg.BlockSize || reqs.BlockSize != lb.cfg.BlockSize {
+		return nil, fmt.Errorf("loadbalancer: block size mismatch")
+	}
+	// ➊ Merge: responses tagged 0, requests tagged 1.
+	x := store.Concat(responses, reqs)
+	x.Rec = lb.cfg.Rec
+	for i := 0; i < responses.Len(); i++ {
+		x.Tag[i] = 0
+	}
+	for i := responses.Len(); i < x.Len(); i++ {
+		x.Tag[i] = 1
+	}
+
+	// ➋ Sort by key, responses before the requests they answer.
+	obliv.SortAdaptive(store.ByKeyTag{Requests: x}, lb.cfg.SortWorkers)
+
+	// ➌ Propagate response data to the request rows that follow it.
+	prevKey := ^uint64(0)
+	var prevFound uint8
+	prevData := make([]byte, lb.cfg.BlockSize)
+	for i := 0; i < x.Len(); i++ {
+		x.Touch(i)
+		isResp := obliv.Not(x.Tag[i])
+		obliv.CondSetU64(isResp, &prevKey, x.Key[i])
+		obliv.CondSetU8(isResp, &prevFound, x.Aux[i])
+		obliv.CondCopyBytes(isResp, prevData, x.Block(i))
+		match := x.Tag[i] & obliv.EqU64(x.Key[i], prevKey)
+		obliv.CondCopyBytes(match, x.Block(i), prevData)
+		obliv.CondSetU8(match, &x.Aux[i], prevFound)
+	}
+
+	// ➍ Compact out the response rows, leaving the answered requests.
+	marks := make([]uint8, x.Len())
+	copy(marks, x.Tag)
+	obliv.Compact(x, marks)
+	return x.View(0, reqs.Len()).Clone(), nil
+}
+
+// LastStats returns the timing breakdown of the most recent epoch.
+func (lb *LoadBalancer) LastStats() Stats {
+	lb.statsMu.Lock()
+	defer lb.statsMu.Unlock()
+	return lb.last
+}
+
+// BatchSize exposes f(R,S) for this deployment's λ — used by the planner
+// and benchmarks.
+func (lb *LoadBalancer) BatchSize(r int) int {
+	return batch.Size(r, lb.cfg.NumSubORAMs, lb.cfg.Lambda)
+}
+
+// PartitionOblivious is the fully oblivious initialization of paper
+// Fig. 23: objects are tagged with their keyed-hash subORAM assignment,
+// obliviously sorted by tag, and split at the tag boundaries. Unlike
+// Partition, the memory access pattern of the grouping itself is a fixed
+// function of the object count — use it when even initialization runs
+// inside an enclave under observation. O(n log² n); prefer Partition for
+// bulk loads outside the threat window.
+func (lb *LoadBalancer) PartitionOblivious(ids []uint64, data []byte) (partIDs [][]uint64, partData [][]byte, err error) {
+	if len(data) != len(ids)*lb.cfg.BlockSize {
+		return nil, nil, fmt.Errorf("loadbalancer: data length %d != %d objects × %d",
+			len(data), len(ids), lb.cfg.BlockSize)
+	}
+	s := lb.cfg.NumSubORAMs
+	work := store.NewRequests(len(ids), lb.cfg.BlockSize)
+	work.Rec = lb.cfg.Rec
+	for i, id := range ids {
+		work.SetRow(i, store.OpRead, id, uint32(lb.SubORAMFor(id)), 0, 0,
+			data[i*lb.cfg.BlockSize:(i+1)*lb.cfg.BlockSize])
+	}
+	obliv.SortAdaptive(store.BySubKey{Requests: work}, lb.cfg.SortWorkers)
+
+	// Boundary scan (Fig. 23 lines 10-18): partition sizes are a function
+	// of the secret hash key only, hence simulatable public outputs.
+	partIDs = make([][]uint64, s)
+	partData = make([][]byte, s)
+	for i := 0; i < work.Len(); i++ {
+		p := int(work.Sub[i])
+		partIDs[p] = append(partIDs[p], work.Key[i])
+		partData[p] = append(partData[p], work.Block(i)...)
+	}
+	return partIDs, partData, nil
+}

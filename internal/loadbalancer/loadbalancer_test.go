@@ -1,0 +1,326 @@
+package loadbalancer
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/store"
+)
+
+const testBlock = 24
+
+func newLB(t *testing.T, s int) *LoadBalancer {
+	t.Helper()
+	return New(Config{BlockSize: testBlock, NumSubORAMs: s, Lambda: 32}, crypt.MustNewKey())
+}
+
+func reqsOf(t *testing.T, rows []struct {
+	op   uint8
+	key  uint64
+	data string
+}) *store.Requests {
+	t.Helper()
+	r := store.NewRequests(len(rows), testBlock)
+	for i, row := range rows {
+		r.SetRow(i, row.op, row.key, 0, uint64(i+1), uint64(100+i), []byte(row.data))
+	}
+	return r
+}
+
+func TestMakeBatchesShapeAndRouting(t *testing.T) {
+	lb := newLB(t, 4)
+	rng := rand.New(rand.NewSource(40))
+	n := 300
+	reqs := store.NewRequests(n, testBlock)
+	for i := 0; i < n; i++ {
+		reqs.SetRow(i, store.OpRead, uint64(rng.Intn(10000)), 0, uint64(i), uint64(i), nil)
+	}
+	b, err := lb.MakeBatches(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped != 0 {
+		t.Fatalf("dropped %d requests", b.Dropped)
+	}
+	if b.All.Len() != 4*b.PerSub {
+		t.Fatalf("batch layout wrong: %d rows for PerSub %d", b.All.Len(), b.PerSub)
+	}
+	if b.PerSub >= n {
+		t.Fatalf("batch size %d not below R=%d in high-throughput regime", b.PerSub, n)
+	}
+	seen := map[uint64]bool{}
+	for s := 0; s < 4; s++ {
+		part := b.For(s)
+		if part.Len() != b.PerSub {
+			t.Fatalf("subORAM %d batch size %d", s, part.Len())
+		}
+		for i := 0; i < part.Len(); i++ {
+			key := part.Key[i]
+			if seen[key] {
+				t.Fatalf("key %#x appears in two batches", key)
+			}
+			seen[key] = true
+			if store.IsDummyKey(key) {
+				continue
+			}
+			if lb.SubORAMFor(key) != s {
+				t.Fatalf("key %d routed to subORAM %d, hash says %d", key, s, lb.SubORAMFor(key))
+			}
+		}
+	}
+	// Every distinct real key must appear in exactly one batch.
+	want := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		want[reqs.Key[i]] = true
+	}
+	for key := range want {
+		if !seen[key] {
+			t.Fatalf("request key %d missing from batches", key)
+		}
+	}
+}
+
+func TestMakeBatchesDeduplicatesLastWriteWins(t *testing.T) {
+	lb := newLB(t, 2)
+	reqs := reqsOf(t, []struct {
+		op   uint8
+		key  uint64
+		data string
+	}{
+		{store.OpRead, 7, ""},
+		{store.OpWrite, 7, "first"},
+		{store.OpWrite, 7, "second"},
+		{store.OpRead, 7, ""},
+		{store.OpWrite, 9, "nine"},
+	})
+	b, err := lb.MakeBatches(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got7, got9 int
+	for i := 0; i < b.All.Len(); i++ {
+		switch b.All.Key[i] {
+		case 7:
+			got7++
+			if b.All.Op[i] != store.OpWrite || !bytes.HasPrefix(b.All.Block(i), []byte("second")) {
+				t.Fatalf("key 7 representative wrong: op=%d data=%q", b.All.Op[i], b.All.Block(i))
+			}
+		case 9:
+			got9++
+		}
+	}
+	if got7 != 1 || got9 != 1 {
+		t.Fatalf("dedup failed: key7×%d key9×%d", got7, got9)
+	}
+}
+
+func TestMakeBatchesSkewedWorkload(t *testing.T) {
+	// Every request for the same object: dedup collapses them to one, so
+	// nothing is dropped regardless of skew (paper §4.1).
+	lb := newLB(t, 8)
+	n := 500
+	reqs := store.NewRequests(n, testBlock)
+	for i := 0; i < n; i++ {
+		reqs.SetRow(i, store.OpRead, 42, 0, uint64(i), uint64(i), nil)
+	}
+	b, err := lb.MakeBatches(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped != 0 {
+		t.Fatalf("skewed workload dropped %d", b.Dropped)
+	}
+	count := 0
+	for i := 0; i < b.All.Len(); i++ {
+		if b.All.Key[i] == 42 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("key 42 appears %d times", count)
+	}
+}
+
+func TestMakeBatchesEmptyEpoch(t *testing.T) {
+	lb := newLB(t, 3)
+	b, err := lb.MakeBatches(store.NewRequests(0, testBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerSub != 1 || b.All.Len() != 3 {
+		t.Fatalf("idle epoch should send one dummy per subORAM, got %d×%d", b.PerSub, 3)
+	}
+	for i := 0; i < b.All.Len(); i++ {
+		if !store.IsDummyKey(b.All.Key[i]) {
+			t.Fatal("idle epoch batch contains a real key")
+		}
+	}
+}
+
+// TestMatchResponses simulates the subORAM side trivially: every batch row
+// gets a response with recognizable data.
+func TestMatchResponses(t *testing.T) {
+	lb := newLB(t, 2)
+	reqs := reqsOf(t, []struct {
+		op   uint8
+		key  uint64
+		data string
+	}{
+		{store.OpRead, 5, ""},
+		{store.OpRead, 6, ""},
+		{store.OpRead, 5, ""}, // duplicate
+		{store.OpWrite, 8, "payload"},
+	})
+	b, err := lb.MakeBatches(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fake subORAM processing: answer each non-dummy row with "v<key>".
+	resp := b.All.Clone()
+	for i := 0; i < resp.Len(); i++ {
+		if !store.IsDummyKey(resp.Key[i]) {
+			blk := resp.Block(i)
+			for k := range blk {
+				blk[k] = 0
+			}
+			copy(blk, []byte(fmt.Sprintf("v%d", resp.Key[i])))
+			resp.Aux[i] = 1
+		}
+	}
+	out, err := lb.MatchResponses(resp, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != reqs.Len() {
+		t.Fatalf("got %d rows, want %d", out.Len(), reqs.Len())
+	}
+	byClient := map[uint64]*struct {
+		key  uint64
+		data string
+		aux  uint8
+	}{}
+	for i := 0; i < out.Len(); i++ {
+		byClient[out.Client[i]] = &struct {
+			key  uint64
+			data string
+			aux  uint8
+		}{out.Key[i], string(bytes.TrimRight(out.Block(i), "\x00")), out.Aux[i]}
+	}
+	for i := 0; i < reqs.Len(); i++ {
+		got, ok := byClient[reqs.Client[i]]
+		if !ok {
+			t.Fatalf("no response for client cookie %d", reqs.Client[i])
+		}
+		if got.key != reqs.Key[i] {
+			t.Fatalf("client %d: key %d, want %d", reqs.Client[i], got.key, reqs.Key[i])
+		}
+		want := fmt.Sprintf("v%d", reqs.Key[i])
+		if got.data != want {
+			t.Fatalf("client %d: data %q, want %q", reqs.Client[i], got.data, want)
+		}
+		if got.aux != 1 {
+			t.Fatalf("client %d: found bit missing", reqs.Client[i])
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	lb := newLB(t, 4)
+	n := 200
+	ids := make([]uint64, n)
+	data := make([]byte, n*testBlock)
+	for i := range ids {
+		ids[i] = uint64(i)
+		data[i*testBlock] = byte(i)
+	}
+	pids, pdata, err := lb.Partition(ids, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := range pids {
+		total += len(pids[s])
+		if len(pdata[s]) != len(pids[s])*testBlock {
+			t.Fatalf("partition %d data length mismatch", s)
+		}
+		for i, id := range pids[s] {
+			if lb.SubORAMFor(id) != s {
+				t.Fatalf("id %d in wrong partition %d", id, s)
+			}
+			if pdata[s][i*testBlock] != byte(id) {
+				t.Fatalf("id %d data mangled", id)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("partitions hold %d objects, want %d", total, n)
+	}
+}
+
+func TestSharedKeyGivesSameRouting(t *testing.T) {
+	key := crypt.MustNewKey()
+	lb1 := New(Config{BlockSize: 8, NumSubORAMs: 5}, key)
+	lb2 := New(Config{BlockSize: 8, NumSubORAMs: 5}, key)
+	for id := uint64(0); id < 1000; id++ {
+		if lb1.SubORAMFor(id) != lb2.SubORAMFor(id) {
+			t.Fatal("load balancers with the same key disagree on routing")
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	lb := newLB(t, 2)
+	reqs := store.NewRequests(10, testBlock)
+	for i := 0; i < 10; i++ {
+		reqs.SetRow(i, store.OpRead, uint64(i), 0, uint64(i), uint64(i), nil)
+	}
+	b, _ := lb.MakeBatches(reqs)
+	if _, err := lb.MatchResponses(b.All, reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := lb.LastStats()
+	if st.MakeBatch <= 0 || st.Match <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestPartitionObliviousMatchesPlain(t *testing.T) {
+	lb := newLB(t, 5)
+	n := 300
+	ids := make([]uint64, n)
+	data := make([]byte, n*testBlock)
+	for i := range ids {
+		ids[i] = uint64(i * 7)
+		data[i*testBlock] = byte(i)
+	}
+	p1, d1, err := lb.Partition(ids, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, d2, err := lb.PartitionOblivious(ids, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		if len(p1[s]) != len(p2[s]) {
+			t.Fatalf("partition %d size differs: %d vs %d", s, len(p1[s]), len(p2[s]))
+		}
+		// Same membership and per-object data, order may differ.
+		want := map[uint64]byte{}
+		for i, id := range p1[s] {
+			want[id] = d1[s][i*testBlock]
+		}
+		for i, id := range p2[s] {
+			b, ok := want[id]
+			if !ok {
+				t.Fatalf("partition %d: unexpected id %d", s, id)
+			}
+			if d2[s][i*testBlock] != b {
+				t.Fatalf("partition %d id %d: data mismatch", s, id)
+			}
+		}
+	}
+}

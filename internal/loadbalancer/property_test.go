@@ -1,0 +1,75 @@
+package loadbalancer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/store"
+)
+
+// TestMakeBatchesPropertyInvariants quick-checks the structural invariants
+// the security proof rests on, across random request mixes:
+//  1. every batch has exactly α rows;
+//  2. every distinct real key appears in exactly one batch, on the subORAM
+//     its hash assigns;
+//  3. nothing is dropped below the Theorem-3 capacity;
+//  4. response matching returns every original request with its cookie.
+func TestMakeBatchesPropertyInvariants(t *testing.T) {
+	lb := New(Config{BlockSize: 16, NumSubORAMs: 3, Lambda: 24}, crypt.MustNewKey())
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%512) + 1
+		reqs := store.NewRequests(n, 16)
+		for i := 0; i < n; i++ {
+			op := store.OpRead
+			if rng.Intn(2) == 0 {
+				op = store.OpWrite
+			}
+			reqs.SetRow(i, op, uint64(rng.Intn(n)), 0, uint64(i), uint64(i), []byte{byte(i)})
+		}
+		b, err := lb.MakeBatches(reqs)
+		if err != nil || b.Dropped != 0 {
+			return false
+		}
+		if b.All.Len() != 3*b.PerSub {
+			return false
+		}
+		seen := map[uint64]int{}
+		for s := 0; s < 3; s++ {
+			part := b.For(s)
+			if part.Len() != b.PerSub {
+				return false
+			}
+			for i := 0; i < part.Len(); i++ {
+				key := part.Key[i]
+				seen[key]++
+				if !store.IsDummyKey(key) && lb.SubORAMFor(key) != s {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if seen[reqs.Key[i]] != 1 {
+				return false
+			}
+		}
+		// Matching returns exactly the original cookies.
+		out, err := lb.MatchResponses(b.All, reqs)
+		if err != nil || out.Len() != n {
+			return false
+		}
+		cookies := map[uint64]bool{}
+		for i := 0; i < out.Len(); i++ {
+			if cookies[out.Client[i]] {
+				return false
+			}
+			cookies[out.Client[i]] = true
+		}
+		return len(cookies) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

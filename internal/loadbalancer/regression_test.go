@@ -1,0 +1,102 @@
+// Regression tests for the end-to-end request path (load balancer →
+// subORAMs → response matching), single- and multi-epoch. The multi-epoch
+// variant originally exposed the Lambert-W batch-sizing bug recorded in
+// EXPERIMENTS.md: undersized batches silently dropped requests.
+package loadbalancer
+
+import (
+	"math/rand"
+	"testing"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// TestEndToEndMultiEpochAllAnswered drives many sequential epochs with mixed
+// read/write Zipf traffic through 2 LBs sharing 3 subORAMs — the core
+// system's data path without any concurrency — hunting a rare lost
+// response.
+func TestEndToEndMultiEpochAllAnswered(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const S = 3
+		const L = 2
+		const objects = 4096
+		key := crypt.MustNewKey()
+		lbs := make([]*LoadBalancer, L)
+		for i := range lbs {
+			lbs[i] = New(Config{BlockSize: 32, NumSubORAMs: S, Lambda: 64}, key)
+		}
+		subs := make([]*suboram.SubORAM, S)
+		ids := make([]uint64, objects)
+		data := make([]byte, objects*32)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+		pids, pdata, _ := lbs[0].Partition(ids, data)
+		for s := 0; s < S; s++ {
+			subs[s] = suboram.New(suboram.Config{BlockSize: 32})
+			if err := subs[s].Init(pids[s], pdata[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		zipf := rand.NewZipf(rng, 1.2, 1, objects-1)
+		for epoch := 0; epoch < 40; epoch++ {
+			type lbEp struct {
+				reqs *store.Requests
+				b    *Batches
+			}
+			eps := make([]lbEp, L)
+			for i := 0; i < L; i++ {
+				n := 20 + rng.Intn(300)
+				reqs := store.NewRequests(n, 32)
+				for j := 0; j < n; j++ {
+					op := store.OpRead
+					if rng.Intn(3) == 0 {
+						op = store.OpWrite
+					}
+					reqs.SetRow(j, op, zipf.Uint64(), 0, uint64(j), uint64(j), []byte{'w', byte(epoch)})
+				}
+				b, err := lbs[i].MakeBatches(reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.Dropped != 0 {
+					t.Fatalf("seed %d epoch %d: dropped %d", seed, epoch, b.Dropped)
+				}
+				eps[i] = lbEp{reqs, b}
+			}
+			// SubORAMs process LB batches in order.
+			resp := make([][]*store.Requests, L)
+			for i := range resp {
+				resp[i] = make([]*store.Requests, S)
+			}
+			for s := 0; s < S; s++ {
+				for i := 0; i < L; i++ {
+					out, err := subs[s].BatchAccess(eps[i].b.For(s))
+					if err != nil {
+						t.Fatal(err)
+					}
+					resp[i][s] = out
+				}
+			}
+			for i := 0; i < L; i++ {
+				all := resp[i][0]
+				for s := 1; s < S; s++ {
+					all = store.Concat(all, resp[i][s])
+				}
+				matched, err := lbs[i].MatchResponses(all, eps[i].reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < matched.Len(); j++ {
+					if matched.Aux[j] != 1 {
+						t.Fatalf("seed %d epoch %d lb %d: key %d (op %d, client %d) missed",
+							seed, epoch, i, matched.Key[j], matched.Op[j], matched.Client[j])
+					}
+				}
+			}
+		}
+	}
+}

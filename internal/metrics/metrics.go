@@ -1,0 +1,113 @@
+// Package metrics provides the latency and throughput accumulators the
+// benchmark harness reports with (mean / percentile latencies, sustained
+// request rates) — the y-axes of the paper's Figs. 9–11.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latencies accumulates duration samples. Safe for concurrent Add.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
+// Count returns the sample count.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the average latency.
+func (l *Latencies) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (l *Latencies) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.samples)
+	if n == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(p/100*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return l.samples[idx]
+}
+
+// Max returns the largest sample.
+func (l *Latencies) Max() time.Duration { return l.Percentile(100) }
+
+// String summarizes the distribution.
+func (l *Latencies) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(99), l.Max())
+}
+
+// Throughput measures completed operations over a wall-clock window.
+type Throughput struct {
+	mu    sync.Mutex
+	start time.Time
+	ops   int64
+}
+
+// NewThroughput starts a measurement window.
+func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+
+// Done records n completed operations.
+func (t *Throughput) Done(n int) {
+	t.mu.Lock()
+	t.ops += int64(n)
+	t.mu.Unlock()
+}
+
+// Ops returns the operation count so far.
+func (t *Throughput) Ops() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops
+}
+
+// PerSecond returns the sustained rate since the window opened.
+func (t *Throughput) PerSecond() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops) / el
+}

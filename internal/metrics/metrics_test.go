@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencies(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.Count() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatal("count wrong")
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	// Adding after a percentile query must re-sort.
+	l.Add(200 * time.Millisecond)
+	if got := l.Max(); got != 200*time.Millisecond {
+		t.Fatalf("max after add = %v", got)
+	}
+}
+
+func TestLatenciesConcurrent(t *testing.T) {
+	var l Latencies
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Add(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Fatalf("lost samples: %d", l.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	th := NewThroughput()
+	th.Done(500)
+	th.Done(500)
+	if th.Ops() != 1000 {
+		t.Fatal("ops wrong")
+	}
+	if th.PerSecond() <= 0 {
+		t.Fatal("rate should be positive")
+	}
+}

@@ -1,0 +1,317 @@
+// Package obladi reproduces the architecture of Obladi (Crooks et al.,
+// OSDI'18), the paper's primary baseline (§8.1): a *trusted proxy* that
+// collects client requests into fixed-size batches (the paper configures
+// 500), deduplicates them, and executes them against a Ring ORAM, padding
+// with dummy accesses so the server always sees exactly batchSize accesses
+// per batch.
+//
+// The defining property this reproduction preserves is the scalability
+// ceiling: all requests funnel through one proxy whose position map and
+// batching logic cannot be distributed securely, so adding machines does
+// not add throughput (paper Table 8, Fig. 9a).
+package obladi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"snoopy/internal/ringoram"
+)
+
+// DefaultBatchSize matches the paper's Obladi configuration (§8.1).
+const DefaultBatchSize = 500
+
+// Op is a client operation.
+type Op struct {
+	Write bool
+	Key   uint64
+	Value []byte
+}
+
+// Resp is the outcome of an Op: the pre-batch value of the key (batch
+// semantics identical to Snoopy's).
+type Resp struct {
+	Value []byte
+	Found bool
+	Err   error
+}
+
+// NetworkModel charges the proxy↔storage-server transfer time that the
+// paper's two-machine Obladi deployment pays (the proxy is a separate
+// trusted machine fetching ORAM paths over the network). Zero values mean
+// no network (co-located, used by unit tests).
+type NetworkModel struct {
+	// RTTPerBatch is the fixed round-trip cost charged once per batch
+	// (Obladi pipelines fetches within a batch).
+	RTTPerBatch time.Duration
+	// BytesPerSecond is the link bandwidth applied to the server block
+	// traffic a batch generates.
+	BytesPerSecond float64
+}
+
+// Delay returns the modeled transfer time for the given traffic.
+func (n NetworkModel) Delay(bytes uint64) time.Duration {
+	if n.BytesPerSecond <= 0 {
+		return n.RTTPerBatch
+	}
+	return n.RTTPerBatch + time.Duration(float64(bytes)/n.BytesPerSecond*1e9)
+}
+
+// DefaultNetwork models the paper's testbed links: ~1 Gbps with sub-ms
+// datacenter RTT.
+func DefaultNetwork() NetworkModel {
+	return NetworkModel{RTTPerBatch: 500 * time.Microsecond, BytesPerSecond: 125e6}
+}
+
+// Config configures the proxy.
+type Config struct {
+	BlockSize int
+	BatchSize int
+	// MaxWait bounds how long a partial batch waits before executing
+	// (only used by the concurrent frontend).
+	MaxWait time.Duration
+	Ring    ringoram.Params
+	// Network models the proxy↔storage link; zero means co-located.
+	Network NetworkModel
+}
+
+// Proxy is the trusted batching proxy.
+type Proxy struct {
+	cfg     Config
+	oram    *ringoram.ORAM
+	idx     map[uint64]uint32
+	rng     *rand.Rand
+	netMark uint64 // ServerBytesMoved high-water mark for network charging
+
+	mu      sync.Mutex
+	queue   []pendingOp
+	closed  bool
+	kicker  chan struct{}
+	started bool
+	wg      sync.WaitGroup
+}
+
+type pendingOp struct {
+	op Op
+	ch chan Resp
+}
+
+// New creates a proxy over the given object set.
+func New(cfg Config, ids []uint64, data []byte) (*Proxy, error) {
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("obladi: BlockSize must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Ring == (ringoram.Params{}) {
+		cfg.Ring = ringoram.DefaultParams()
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 10 * time.Millisecond
+	}
+	if len(data) != len(ids)*cfg.BlockSize {
+		return nil, fmt.Errorf("obladi: data length mismatch")
+	}
+	n := len(ids)
+	if n == 0 {
+		n = 1
+	}
+	oram, err := ringoram.New(n, cfg.BlockSize, cfg.Ring)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		oram:   oram,
+		idx:    make(map[uint64]uint32, len(ids)),
+		rng:    rand.New(rand.NewSource(rand.Int63())),
+		kicker: make(chan struct{}, 1),
+	}
+	for i, id := range ids {
+		if _, dup := p.idx[id]; dup {
+			return nil, fmt.Errorf("obladi: duplicate id %d", id)
+		}
+		p.idx[id] = uint32(i)
+		if _, err := oram.Access(true, uint32(i), data[i*cfg.BlockSize:(i+1)*cfg.BlockSize]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ExecuteBatch runs one batch synchronously: deduplicate (last write
+// wins), execute one ORAM access per distinct key, pad with dummy accesses
+// to the configured batch size, and answer every op with the pre-batch
+// value of its key.
+func (p *Proxy) ExecuteBatch(ops []Op) ([]Resp, error) {
+	if len(ops) > p.cfg.BatchSize {
+		return nil, fmt.Errorf("obladi: batch of %d exceeds configured size %d", len(ops), p.cfg.BatchSize)
+	}
+	// Deduplicate: one access per distinct key; last write wins.
+	type merged struct {
+		write bool
+		value []byte
+	}
+	order := make([]uint64, 0, len(ops))
+	byKey := map[uint64]*merged{}
+	for _, op := range ops {
+		m, ok := byKey[op.Key]
+		if !ok {
+			m = &merged{}
+			byKey[op.Key] = m
+			order = append(order, op.Key)
+		}
+		if op.Write {
+			m.write = true
+			m.value = op.Value
+		}
+	}
+
+	// Execute distinct accesses sequentially through the single ORAM.
+	pre := map[uint64]Resp{}
+	for _, key := range order {
+		m := byKey[key]
+		dense, ok := p.idx[key]
+		if !ok {
+			// Absent key: dummy access to keep the batch size fixed.
+			if _, err := p.dummyAccess(); err != nil {
+				return nil, err
+			}
+			pre[key] = Resp{Found: false}
+			continue
+		}
+		var v []byte
+		var err error
+		if m.write {
+			v, err = p.oram.Access(true, dense, m.value)
+		} else {
+			v, err = p.oram.Access(false, dense, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pre[key] = Resp{Value: v, Found: true}
+	}
+	// Pad to the fixed batch size with dummy accesses.
+	for i := len(order); i < p.cfg.BatchSize; i++ {
+		if _, err := p.dummyAccess(); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Resp, len(ops))
+	for i, op := range ops {
+		out[i] = pre[op.Key]
+	}
+	// Charge the modeled network time for this batch's server traffic.
+	if p.cfg.Network != (NetworkModel{}) {
+		moved := p.oram.ServerBytesMoved() - p.netMark
+		p.netMark = p.oram.ServerBytesMoved()
+		time.Sleep(p.cfg.Network.Delay(moved))
+	}
+	return out, nil
+}
+
+func (p *Proxy) dummyAccess() ([]byte, error) {
+	return p.oram.Access(false, uint32(p.rng.Intn(p.oram.NumBlocks())), nil)
+}
+
+// Start launches the concurrent frontend: queued operations execute when a
+// full batch accumulates or MaxWait elapses.
+func (p *Proxy) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	p.wg.Add(1)
+	go p.loop()
+}
+
+// Close drains and stops the frontend.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	select {
+	case p.kicker <- struct{}{}:
+	default:
+	}
+	p.wg.Wait()
+}
+
+// Submit enqueues an operation; the returned function blocks for its result.
+func (p *Proxy) Submit(op Op) (func() Resp, error) {
+	ch := make(chan Resp, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("obladi: proxy closed")
+	}
+	p.queue = append(p.queue, pendingOp{op: op, ch: ch})
+	full := len(p.queue) >= p.cfg.BatchSize
+	p.mu.Unlock()
+	if full {
+		select {
+		case p.kicker <- struct{}{}:
+		default:
+		}
+	}
+	return func() Resp { return <-ch }, nil
+}
+
+func (p *Proxy) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.MaxWait)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-p.kicker:
+		}
+		p.mu.Lock()
+		closed := p.closed
+		var take []pendingOp
+		if len(p.queue) > p.cfg.BatchSize {
+			take = p.queue[:p.cfg.BatchSize]
+			p.queue = p.queue[p.cfg.BatchSize:]
+		} else {
+			take = p.queue
+			p.queue = nil
+		}
+		p.mu.Unlock()
+		if len(take) > 0 {
+			ops := make([]Op, len(take))
+			for i := range take {
+				ops[i] = take[i].op
+			}
+			resps, err := p.ExecuteBatch(ops)
+			for i := range take {
+				if err != nil {
+					take[i].ch <- Resp{Err: err}
+				} else {
+					take[i].ch <- resps[i]
+				}
+			}
+		}
+		if closed {
+			p.mu.Lock()
+			empty := len(p.queue) == 0
+			p.mu.Unlock()
+			if empty {
+				return
+			}
+		}
+	}
+}
+
+// ServerBytesMoved exposes the underlying ORAM traffic.
+func (p *Proxy) ServerBytesMoved() uint64 { return p.oram.ServerBytesMoved() }

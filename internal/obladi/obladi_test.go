@@ -1,0 +1,128 @@
+package obladi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testBlock = 16
+
+func newProxy(t *testing.T, n, batch int) *Proxy {
+	t.Helper()
+	ids := make([]uint64, n)
+	data := make([]byte, n*testBlock)
+	for i := 0; i < n; i++ {
+		ids[i] = uint64(i * 2)
+		copy(data[i*testBlock:], []byte(fmt.Sprintf("v%d", i*2)))
+	}
+	p, err := New(Config{BlockSize: testBlock, BatchSize: batch, MaxWait: time.Millisecond}, ids, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExecuteBatchBasics(t *testing.T) {
+	p := newProxy(t, 50, 16)
+	resps, err := p.ExecuteBatch([]Op{
+		{Key: 4},
+		{Write: true, Key: 6, Value: []byte("new6")},
+		{Key: 9999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Found || !bytes.HasPrefix(resps[0].Value, []byte("v4")) {
+		t.Fatalf("read wrong: %+v", resps[0])
+	}
+	if !resps[1].Found || !bytes.HasPrefix(resps[1].Value, []byte("v6")) {
+		t.Fatalf("write should return pre-batch value: %+v", resps[1])
+	}
+	if resps[2].Found {
+		t.Fatal("absent key found")
+	}
+	// The write persisted.
+	resps, _ = p.ExecuteBatch([]Op{{Key: 6}})
+	if !bytes.HasPrefix(resps[0].Value, []byte("new6")) {
+		t.Fatalf("write lost: %q", resps[0].Value)
+	}
+}
+
+func TestDedupLastWriteWins(t *testing.T) {
+	p := newProxy(t, 20, 16)
+	_, err := p.ExecuteBatch([]Op{
+		{Write: true, Key: 2, Value: []byte("first")},
+		{Key: 2},
+		{Write: true, Key: 2, Value: []byte("second")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps, _ := p.ExecuteBatch([]Op{{Key: 2}})
+	if !bytes.HasPrefix(resps[0].Value, []byte("second")) {
+		t.Fatalf("last write should win: %q", resps[0].Value)
+	}
+}
+
+func TestOversizedBatchRejected(t *testing.T) {
+	p := newProxy(t, 10, 4)
+	ops := make([]Op, 5)
+	if _, err := p.ExecuteBatch(ops); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestConcurrentFrontend(t *testing.T) {
+	p := newProxy(t, 100, 8)
+	p.Start()
+	defer p.Close()
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(100))
+	errs := make(chan error, 32)
+	for c := 0; c < 32; c++ {
+		key := uint64(rng.Intn(100) * 2)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wait, err := p.Submit(Op{Key: key})
+			if err != nil {
+				errs <- err
+				return
+			}
+			r := wait()
+			if r.Err != nil {
+				errs <- r.Err
+				return
+			}
+			if !r.Found {
+				errs <- fmt.Errorf("key %d not found", key)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficGrowsPerBatch(t *testing.T) {
+	p := newProxy(t, 64, 32)
+	before := p.ServerBytesMoved()
+	p.ExecuteBatch([]Op{{Key: 0}})
+	// Even a one-op batch pads to 32 accesses.
+	delta := p.ServerBytesMoved() - before
+	if delta == 0 {
+		t.Fatal("no traffic for padded batch")
+	}
+	before = p.ServerBytesMoved()
+	p.ExecuteBatch(nil)
+	delta2 := p.ServerBytesMoved() - before
+	if delta2 == 0 {
+		t.Fatal("empty batch should still pad with dummies")
+	}
+}

@@ -1,0 +1,39 @@
+package obliv
+
+// FusedAccess performs, in a single pass over both buffers, the pair of
+// oblivious compare-and-sets at the heart of the subORAM scan (paper §5,
+// Fig. 7 step ➋): for a stored object block obj and a request slot block
+// slot,
+//
+//	cw == 1 (matching write): exchange obj and slot — the object takes the
+//	        write payload, the slot keeps the pre-write value as the
+//	        response;
+//	cr == 1 (matching read):  copy obj into slot — the slot takes the value
+//	        as the response, the object is untouched.
+//
+// At most one of cw, cr may be 1. Both buffers are read and written in full
+// regardless of the conditions, so the access pattern reveals neither the
+// match nor the request type. len(obj) must equal len(slot).
+func FusedAccess(cw, cr uint8, obj, slot []byte) {
+	if len(obj) != len(slot) {
+		panic("obliv: FusedAccess length mismatch")
+	}
+	mw := Mask64(cw)
+	mrw := Mask64(cr | cw)
+	n := len(obj)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		o := leU64(obj[i:])
+		s := leU64(slot[i:])
+		putLeU64(obj[i:], o^(mw&(o^s)))
+		putLeU64(slot[i:], s^(mrw&(s^o)))
+	}
+	mwb := MaskByte(cw)
+	mrwb := MaskByte(cr | cw)
+	for ; i < n; i++ {
+		o := obj[i]
+		s := slot[i]
+		obj[i] = o ^ (mwb & (o ^ s))
+		slot[i] = s ^ (mrwb & (s ^ o))
+	}
+}

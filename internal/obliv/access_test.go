@@ -1,0 +1,51 @@
+package obliv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFusedAccess(t *testing.T) {
+	objOrig := []byte("stored-object-value")
+	slotOrig := []byte("request-write-paylo")
+
+	// No match: both untouched.
+	obj := append([]byte(nil), objOrig...)
+	slot := append([]byte(nil), slotOrig...)
+	FusedAccess(0, 0, obj, slot)
+	if !bytes.Equal(obj, objOrig) || !bytes.Equal(slot, slotOrig) {
+		t.Fatal("no-op case modified buffers")
+	}
+
+	// Matching read: slot takes object value, object untouched.
+	obj = append([]byte(nil), objOrig...)
+	slot = append([]byte(nil), slotOrig...)
+	FusedAccess(0, 1, obj, slot)
+	if !bytes.Equal(obj, objOrig) {
+		t.Fatal("read modified object")
+	}
+	if !bytes.Equal(slot, objOrig) {
+		t.Fatalf("read response wrong: %q", slot)
+	}
+
+	// Matching write: object takes payload, slot keeps pre-write value.
+	obj = append([]byte(nil), objOrig...)
+	slot = append([]byte(nil), slotOrig...)
+	FusedAccess(1, 0, obj, slot)
+	if !bytes.Equal(obj, slotOrig) {
+		t.Fatalf("write not applied: %q", obj)
+	}
+	if !bytes.Equal(slot, objOrig) {
+		t.Fatalf("write response should be pre-write value: %q", slot)
+	}
+}
+
+func TestFusedAccessOddLength(t *testing.T) {
+	// Exercise the byte-tail path (length not a multiple of 8).
+	obj := []byte{1, 2, 3}
+	slot := []byte{9, 9, 9}
+	FusedAccess(1, 0, obj, slot)
+	if !bytes.Equal(obj, []byte{9, 9, 9}) || !bytes.Equal(slot, []byte{1, 2, 3}) {
+		t.Fatalf("odd-length swap wrong: %v %v", obj, slot)
+	}
+}

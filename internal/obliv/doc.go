@@ -1,0 +1,18 @@
+// Package obliv provides the data-oblivious building blocks that every
+// enclave-resident Snoopy algorithm is assembled from (paper §4.2.1, §B.4):
+//
+//   - constant-time predicates and conditional copy/swap ("oblivious
+//     compare-and-set", the paper's OCmpSet/OCmpSwap),
+//   - bitonic sort (Batcher), serial and parallel, for arbitrary lengths,
+//   - order-preserving oblivious compaction (Goodrich-style; the default
+//     implementation is the ORCompact recursion, with a log-shift variant
+//     kept as an ablation baseline).
+//
+// Obliviousness contract: every exported algorithm performs a sequence of
+// element accesses (reads, conditional swaps) whose *positions* are a fixed
+// function of public inputs only — Len() and, for compaction, nothing else.
+// Secret data (keys, payloads, mark bits) only ever flows into the condition
+// argument of OSwap or into branch-free mask arithmetic, never into an index
+// computation or a Go branch. The trace tests in this package and in
+// internal/trace verify this empirically by recording access sequences.
+package obliv

@@ -1,0 +1,203 @@
+package obliv
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Swapper is a collection supporting oblivious conditional swaps. OSwap must
+// exchange elements i and j iff cond == 1, touching both elements with an
+// access pattern independent of cond.
+type Swapper interface {
+	Len() int
+	OSwap(cond uint8, i, j int)
+}
+
+// Sorter extends Swapper with a branch-free ordering predicate: Greater
+// returns 1 iff element i must be placed strictly after element j.
+type Sorter interface {
+	Swapper
+	Greater(i, j int) uint8
+}
+
+// Sort obliviously sorts s in ascending order using Batcher's bitonic
+// network, generalized to arbitrary lengths (H.W. Lang's variant). The
+// sequence of (i, j) compare-exchange positions depends only on s.Len();
+// it performs O(n log² n) compare-exchanges. Sorting is not stable; callers
+// that need stability must fold a tiebreaker into Greater.
+func Sort(s Sorter) {
+	bitonicSort(s, 0, s.Len(), true)
+}
+
+// bitonicSort sorts s[lo:lo+n] ascending if up, descending otherwise.
+func bitonicSort(s Sorter, lo, n int, up bool) {
+	if n <= 1 {
+		return
+	}
+	m := n / 2
+	bitonicSort(s, lo, m, !up)
+	bitonicSort(s, lo+m, n-m, up)
+	bitonicMerge(s, lo, n, up)
+}
+
+// bitonicMerge merges the bitonic sequence s[lo:lo+n] into ascending
+// (up) or descending order.
+func bitonicMerge(s Sorter, lo, n int, up bool) {
+	if n <= 1 {
+		return
+	}
+	m := greatestPowerOfTwoLessThan(n)
+	for i := lo; i < lo+n-m; i++ {
+		compareSwap(s, i, i+m, up)
+	}
+	bitonicMerge(s, lo, m, up)
+	bitonicMerge(s, lo+m, n-m, up)
+}
+
+func compareSwap(s Sorter, i, j int, up bool) {
+	g := s.Greater(i, j) // 1 if element i belongs after element j
+	var dir uint8
+	if up {
+		dir = 1
+	}
+	// Ascending: swap when i is greater. Descending: swap when i is not
+	// greater. The branch above depends only on the public direction.
+	s.OSwap(g^dir^1, i, j)
+}
+
+func greatestPowerOfTwoLessThan(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k >> 1
+}
+
+// SortParallel sorts like Sort but fans compare-exchange work out across up
+// to `workers` goroutines. The network — and therefore the access pattern —
+// is identical to Sort's; only the interleaving of independent
+// compare-exchanges differs. workers <= 1 falls back to the serial sort.
+func SortParallel(s Sorter, workers int) {
+	if workers <= 1 || s.Len() < 2 {
+		Sort(s)
+		return
+	}
+	sem := make(chan struct{}, workers-1)
+	var p parSorter
+	p.s = s
+	p.sem = sem
+	p.sort(0, s.Len(), true)
+}
+
+// parallelGrain is the subproblem size below which the parallel sorter stops
+// spawning goroutines and recursing into the semaphore.
+const parallelGrain = 1 << 9
+
+type parSorter struct {
+	s   Sorter
+	sem chan struct{}
+}
+
+// tryGo runs f on a fresh goroutine if a worker slot is free, signalling wg;
+// otherwise it runs f inline and returns false.
+func (p *parSorter) tryGo(wg *sync.WaitGroup, f func()) {
+	select {
+	case p.sem <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			f()
+		}()
+	default:
+		f()
+	}
+}
+
+func (p *parSorter) sort(lo, n int, up bool) {
+	if n <= 1 {
+		return
+	}
+	if n < parallelGrain {
+		bitonicSort(p.s, lo, n, up)
+		return
+	}
+	m := n / 2
+	var wg sync.WaitGroup
+	p.tryGo(&wg, func() { p.sort(lo, m, !up) })
+	p.sort(lo+m, n-m, up)
+	wg.Wait()
+	p.merge(lo, n, up)
+}
+
+func (p *parSorter) merge(lo, n int, up bool) {
+	if n <= 1 {
+		return
+	}
+	if n < parallelGrain {
+		bitonicMerge(p.s, lo, n, up)
+		return
+	}
+	m := greatestPowerOfTwoLessThan(n)
+	// The n-m compare-exchanges at this level are independent; chunk them.
+	span := n - m
+	chunk := (span + cap(p.sem)) / (cap(p.sem) + 1)
+	if chunk < parallelGrain/4 {
+		chunk = parallelGrain / 4
+	}
+	var wg sync.WaitGroup
+	for off := 0; off < span; off += chunk {
+		end := off + chunk
+		if end > span {
+			end = span
+		}
+		lo, m, off, end := lo, m, off, end
+		if end < span {
+			p.tryGo(&wg, func() {
+				for i := lo + off; i < lo+end; i++ {
+					compareSwap(p.s, i, i+m, up)
+				}
+			})
+		} else {
+			for i := lo + off; i < lo+end; i++ {
+				compareSwap(p.s, i, i+m, up)
+			}
+		}
+	}
+	wg.Wait()
+	var wg2 sync.WaitGroup
+	p.tryGo(&wg2, func() { p.merge(lo, m, up) })
+	p.merge(lo+m, n-m, up)
+	wg2.Wait()
+}
+
+// adaptiveThreshold is the element count above which SortAdaptive switches
+// from the serial to the parallel sorter. Below it, goroutine coordination
+// costs more than it saves (paper Fig. 13a: "for smaller data sizes, the
+// coordination overhead actually makes it cheaper to use a single thread").
+const adaptiveThreshold = 1 << 13
+
+// SortAdaptive picks the serial sort for small inputs and the parallel sort
+// (with up to workers goroutines, default GOMAXPROCS) for large ones.
+func SortAdaptive(s Sorter, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if s.Len() < adaptiveThreshold || workers == 1 {
+		Sort(s)
+		return
+	}
+	SortParallel(s, workers)
+}
+
+// U64Slice is a Sorter over plain uint64 keys; useful for tests and as a
+// reference implementation of the Sorter contract.
+type U64Slice []uint64
+
+func (u U64Slice) Len() int { return len(u) }
+
+func (u U64Slice) OSwap(c uint8, i, j int) { CondSwapU64(c, &u[i], &u[j]) }
+
+func (u U64Slice) Greater(i, j int) uint8 { return GtU64(u[i], u[j]) }

@@ -1,0 +1,96 @@
+package ohash
+
+import (
+	"snoopy/internal/crypt"
+	"snoopy/internal/store"
+)
+
+// Builder amortizes the table-construction scratch memory across batches:
+// a subORAM processes one batch per load balancer per epoch forever, and
+// per-batch allocation of the multi-megabyte work arrays dominates GC
+// pressure at high epoch rates. A Builder is NOT safe for concurrent use;
+// give each goroutine its own.
+type Builder struct {
+	p Params
+
+	work  *store.Requests
+	spill *store.Requests
+	work2 *store.Requests
+	keep  []uint8
+	over  []uint8
+	keep2 []uint8
+}
+
+// NewBuilder creates a Builder with the given geometry parameters.
+func NewBuilder(p Params) *Builder {
+	if p.Z1 == 0 {
+		p = DefaultParams()
+	}
+	return &Builder{p: p}
+}
+
+// ensure returns a zero-initialized request set of exactly n rows, reusing
+// the previous allocation when the geometry matches.
+func ensure(buf **store.Requests, n, block int) *store.Requests {
+	b := *buf
+	if b == nil || b.Len() != n || b.BlockSize != block {
+		b = store.NewRequests(n, block)
+		*buf = b
+		return b
+	}
+	// Reset in place.
+	for i := range b.Op {
+		b.Op[i] = 0
+		b.Key[i] = 0
+		b.Sub[i] = 0
+		b.Tag[i] = 0
+		b.Aux[i] = 0
+		b.Seq[i] = 0
+		b.Client[i] = 0
+	}
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	return b
+}
+
+func ensureBits(buf *[]uint8, n int) []uint8 {
+	if cap(*buf) < n {
+		*buf = make([]uint8, n)
+	}
+	b := (*buf)[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// Build constructs a table like the package-level Build but reusing the
+// Builder's scratch buffers. The returned Table owns fresh tier storage
+// (it outlives the next Build call); only intermediate work arrays are
+// recycled.
+func (b *Builder) Build(reqs *store.Requests) (*Table, error) {
+	return b.buildWithKeys(reqs, crypt.MustNewSipKey(), crypt.MustNewSipKey())
+}
+
+func (b *Builder) buildWithKeys(reqs *store.Requests, k1, k2 crypt.SipKey) (*Table, error) {
+	n := reqs.Len()
+	if n == 0 {
+		return nil, errEmptyBatch
+	}
+	g := b.p.GeometryFor(n)
+	t := &Table{Geom: g, K1: k1, K2: k2}
+
+	work := ensure(&b.work, n+g.B1*g.Z1, reqs.BlockSize)
+	work.Rec = b.p.Rec
+	spill := ensure(&b.spill, n+g.B1*g.Z1, reqs.BlockSize)
+	work2 := ensure(&b.work2, minInt(g.C2, n+g.B1*g.Z1)+g.B2*g.Z2, reqs.BlockSize)
+	work2.Rec = b.p.Rec
+	keep := ensureBits(&b.keep, work.Len())
+	over := ensureBits(&b.over, work.Len())
+	keep2 := ensureBits(&b.keep2, work2.Len())
+	if err := buildInto(t, reqs, b.p, work, spill, work2, keep, over, keep2); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,272 @@
+// Package ohash implements the oblivious two-tier hash table of Chan et al.
+// that Snoopy's subORAM uses to process request batches (paper §5). The
+// table is built from a batch of distinct requests with an oblivious
+// construction (two oblivious sorts plus compactions); afterwards, looking
+// up an object id means scanning one full bucket in each tier, which hides
+// the slot — and existence — of the match.
+//
+// Tier sizing follows the paper's approach: tier-1 buckets are small
+// constants (overflow there is expected and harmless), and the overflow
+// spills into tier 2, whose buckets are sized with the paper's own
+// balls-into-bins bound (internal/batch, Theorem 3) so that tier-2 overflow
+// is cryptographically negligible. Construction returns an error in the
+// negligible event that a batch cannot be placed; callers treat that as the
+// security-failure event of the analysis.
+package ohash
+
+import (
+	"errors"
+	"fmt"
+
+	"snoopy/internal/batch"
+	"snoopy/internal/crypt"
+	"snoopy/internal/obliv"
+	"snoopy/internal/store"
+	"snoopy/internal/trace"
+)
+
+// TableDummyBit distinguishes table-padding dummy keys from load-balancer
+// dummy keys (which carry only store.DummyKeyBit); padding keys sort after
+// every batch key within a bucket.
+const TableDummyBit = uint64(1) << 62
+
+// ErrOverflow is returned when the batch cannot be placed — a probability-
+// negligible event under the configured security parameter.
+var ErrOverflow = errors.New("ohash: hash table overflow")
+
+// Params configures table geometry.
+type Params struct {
+	// Z1 is the tier-1 bucket capacity.
+	Z1 int
+	// Mu1 is the mean tier-1 bucket load; B1 = ceil(n/Mu1).
+	Mu1 int
+	// OverflowDiv bounds tier-2 capacity: C2 = max(64, ceil(n/OverflowDiv)).
+	OverflowDiv int
+	// Lambda is the security parameter (bits) for tier-2 bucket sizing.
+	Lambda int
+	// Rec, when non-nil, records construction access traces (test-only).
+	Rec *trace.Recorder
+}
+
+// DefaultParams mirrors the deployment defaults: tier-1 buckets of 8 at mean
+// load 4, tier-2 capacity n/8, λ=128.
+func DefaultParams() Params {
+	return Params{Z1: 8, Mu1: 4, OverflowDiv: 8, Lambda: 128}
+}
+
+// Geometry describes the concrete table dimensions for a batch of n.
+type Geometry struct {
+	N      int // batch size
+	B1, Z1 int // tier-1 buckets × capacity
+	B2, Z2 int // tier-2 buckets × capacity
+	C2     int // tier-2 real-element capacity
+}
+
+// GeometryFor computes table dimensions for a batch of n requests.
+func (p Params) GeometryFor(n int) Geometry {
+	g := Geometry{N: n, Z1: p.Z1}
+	g.B1 = (n + p.Mu1 - 1) / p.Mu1
+	if g.B1 < 1 {
+		g.B1 = 1
+	}
+	g.C2 = (n + p.OverflowDiv - 1) / p.OverflowDiv
+	if g.C2 < 64 {
+		g.C2 = 64
+	}
+	g.B2 = g.C2 // mean tier-2 load 1 minimizes the scanned bucket size
+	g.Z2 = batch.Size(g.C2, g.B2, p.Lambda)
+	return g
+}
+
+// SlotsScannedPerLookup returns Z1+Z2: the per-object scan cost.
+func (g Geometry) SlotsScannedPerLookup() int { return g.Z1 + g.Z2 }
+
+// Table is a constructed two-tier oblivious hash table over a batch of
+// requests. Tier rows use Tag as the occupancy bit (1 = holds a batch
+// request) and Sub as the bucket index.
+type Table struct {
+	Geom  Geometry
+	K1    crypt.SipKey
+	K2    crypt.SipKey
+	Tier1 *store.Requests // Geom.B1 × Geom.Z1 rows, bucket-major
+	Tier2 *store.Requests // Geom.B2 × Geom.Z2 rows, bucket-major
+}
+
+// Build obliviously constructs a table from a batch of requests with
+// distinct keys. The input is not modified. Fresh hash keys are sampled per
+// call (paper §5: a new key for every batch so the attacker cannot link
+// bucket choices across batches).
+func Build(reqs *store.Requests, p Params) (*Table, error) {
+	return BuildWithKeys(reqs, p, crypt.MustNewSipKey(), crypt.MustNewSipKey())
+}
+
+// BuildWithKeys is Build with caller-chosen hash keys. It exists so tests
+// can fix the keys and verify that, keys held equal, the construction and
+// scan traces are independent of request contents (the simulator argument
+// of §B.5). Production code must use Build.
+func BuildWithKeys(reqs *store.Requests, p Params, k1, k2 crypt.SipKey) (*Table, error) {
+	n := reqs.Len()
+	if n == 0 {
+		return nil, errEmptyBatch
+	}
+	g := p.GeometryFor(n)
+	t := &Table{Geom: g, K1: k1, K2: k2}
+	work := store.NewRequests(n+g.B1*g.Z1, reqs.BlockSize)
+	work.Rec = p.Rec
+	spill := store.NewRequests(work.Len(), reqs.BlockSize)
+	work2 := store.NewRequests(minInt(g.C2, work.Len())+g.B2*g.Z2, reqs.BlockSize)
+	work2.Rec = p.Rec
+	if err := buildInto(t, reqs, p,
+		work, spill, work2,
+		make([]uint8, work.Len()), make([]uint8, work.Len()), make([]uint8, work2.Len())); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+var errEmptyBatch = fmt.Errorf("ohash: empty batch")
+
+// buildInto runs the oblivious construction using caller-provided scratch
+// arrays (zeroed, correctly sized — see Builder), filling t's tiers with
+// freshly allocated storage the table owns.
+func buildInto(t *Table, reqs *store.Requests, p Params,
+	work, spill, work2 *store.Requests, keep, over, keep2 []uint8) error {
+	g := t.Geom
+	n := reqs.Len()
+
+	// ---- Tier 1 ----
+	// work = batch rows tagged occupied, plus Z1 padding dummies per bucket.
+	for i := 0; i < n; i++ {
+		work.CopyRowPlain(i, reqs, i)
+		work.Sub[i] = crypt.SipBucket(t.K1, work.Key[i], g.B1)
+		work.Tag[i] = 1
+	}
+	d := n
+	for b := 0; b < g.B1; b++ {
+		for z := 0; z < g.Z1; z++ {
+			work.SetRow(d, store.OpRead, padKey(uint64(d)), uint32(b), 0, 0, nil)
+			d++
+		}
+	}
+	obliv.Sort(store.BySubKey{Requests: work})
+
+	markRuns(work.Sub, g.Z1, keep)
+	for i := range over {
+		over[i] = work.Tag[i] & obliv.Not(keep[i]) // occupied but not placed
+	}
+
+	copyColumns(spill, work)
+	obliv.Compact(work, keep)
+	t.Tier1 = work.View(0, g.B1*g.Z1).Clone()
+	t.Tier1.Rec = p.Rec
+
+	// ---- Tier 2 ----
+	// Erase the non-overflow rows of the spill copy, then compact overflow
+	// to the front and truncate to the public capacity C2.
+	for i := 0; i < spill.Len(); i++ {
+		notOv := obliv.Not(over[i])
+		obliv.CondSetU64(notOv, &spill.Key[i], padKey(uint64(1<<40)+uint64(i)))
+		obliv.CondSetU8(notOv, &spill.Tag[i], 0)
+	}
+	obliv.Compact(spill, over)
+	// Any occupied row past C2 is lost: the negligible failure event.
+	lost := 0
+	for i := g.C2; i < spill.Len(); i++ {
+		lost += int(spill.Tag[i])
+	}
+	if lost > 0 {
+		return fmt.Errorf("%w: tier-2 capacity exceeded by %d", ErrOverflow, lost)
+	}
+
+	cand := spill.View(0, minInt(g.C2, spill.Len()))
+	for i := 0; i < cand.Len(); i++ {
+		work2.CopyRowPlain(i, cand, i)
+		// Real overflow rows hash into [0,B2); erased rows go to the
+		// sentinel bucket B2, selected branch-free.
+		h := crypt.SipBucket(t.K2, work2.Key[i], g.B2)
+		work2.Sub[i] = uint32(obliv.SelectU64(work2.Tag[i], uint64(g.B2), uint64(h)))
+	}
+	d = cand.Len()
+	for b := 0; b < g.B2; b++ {
+		for z := 0; z < g.Z2; z++ {
+			work2.SetRow(d, store.OpRead, padKey(uint64(1<<41)+uint64(d)), uint32(b), 0, 0, nil)
+			d++
+		}
+	}
+	obliv.Sort(store.BySubKey{Requests: work2})
+
+	markRuns(work2.Sub, g.Z2, keep2)
+	lost = 0
+	for i := range keep2 {
+		// Rows in the sentinel bucket are never kept.
+		inRange := obliv.LtU64(uint64(work2.Sub[i]), uint64(g.B2))
+		keep2[i] &= inRange
+		lost += int(work2.Tag[i] & obliv.Not(keep2[i]))
+	}
+	if lost > 0 {
+		return fmt.Errorf("%w: tier-2 bucket exceeded by %d", ErrOverflow, lost)
+	}
+	obliv.Compact(work2, keep2)
+	t.Tier2 = work2.View(0, g.B2*g.Z2).Clone()
+	t.Tier2.Rec = p.Rec
+	return nil
+}
+
+// copyColumns copies src into dst (equal geometry) without allocating.
+func copyColumns(dst, src *store.Requests) {
+	copy(dst.Op, src.Op)
+	copy(dst.Key, src.Key)
+	copy(dst.Sub, src.Sub)
+	copy(dst.Tag, src.Tag)
+	copy(dst.Aux, src.Aux)
+	copy(dst.Seq, src.Seq)
+	copy(dst.Client, src.Client)
+	copy(dst.Data, src.Data)
+}
+
+// Buckets returns the row ranges [lo1,hi1) in Tier1 and [lo2,hi2) in Tier2
+// that a lookup of id must scan in full. The bucket indices are a function
+// of the per-batch secret hash keys and id; revealing them is simulatable
+// from public information because keys are fresh and each id is looked up
+// at most once per batch (paper §5).
+func (t *Table) Buckets(id uint64) (lo1, hi1, lo2, hi2 int) {
+	b1 := int(crypt.SipBucket(t.K1, id, t.Geom.B1))
+	b2 := int(crypt.SipBucket(t.K2, id, t.Geom.B2))
+	return b1 * t.Geom.Z1, (b1 + 1) * t.Geom.Z1, b2 * t.Geom.Z2, (b2 + 1) * t.Geom.Z2
+}
+
+// Extract obliviously compacts the occupied slots of both tiers to recover
+// exactly n rows — the batch requests, now carrying whatever responses the
+// subORAM scan deposited in them. The table is consumed.
+func (t *Table) Extract() *store.Requests {
+	all := store.Concat(t.Tier1, t.Tier2)
+	all.Rec = t.Tier1.Rec
+	marks := make([]uint8, all.Len())
+	copy(marks, all.Tag)
+	obliv.Compact(all, marks)
+	return all.View(0, t.Geom.N).Clone()
+}
+
+// markRuns sets keep[i] = 1 iff the rank of row i within its run of equal
+// Sub values is below z. Branch-free: run boundaries and ranks are secret.
+func markRuns(sub []uint32, z int, keep []uint8) {
+	var cnt uint64
+	prev := ^uint64(0)
+	for i := range sub {
+		s := uint64(sub[i])
+		newRun := obliv.NeqU64(s, prev)
+		cnt = obliv.SelectU64(newRun, cnt, 0)
+		keep[i] = obliv.LtU64(cnt, uint64(z))
+		cnt++
+		prev = s
+	}
+}
+
+func padKey(i uint64) uint64 { return store.DummyKeyBit | TableDummyBit | i }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

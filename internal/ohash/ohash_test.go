@@ -1,0 +1,296 @@
+package ohash
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"snoopy/internal/store"
+)
+
+func makeBatch(rng *rand.Rand, n, block int) *store.Requests {
+	reqs := store.NewRequests(n, block)
+	perm := rng.Perm(n * 10)
+	for i := 0; i < n; i++ {
+		op := store.OpRead
+		if rng.Intn(2) == 0 {
+			op = store.OpWrite
+		}
+		reqs.SetRow(i, op, uint64(perm[i]), 0, uint64(i), uint64(i), []byte{byte(i)})
+	}
+	return reqs
+}
+
+// findKey scans the buckets for key and returns how many occupied slots
+// match, plus the location of the first match.
+func findKey(t *Table, key uint64) (count int, tier, slot int) {
+	lo1, hi1, lo2, hi2 := t.Buckets(key)
+	for s := lo1; s < hi1; s++ {
+		if t.Tier1.Tag[s] == 1 && t.Tier1.Key[s] == key {
+			count++
+			tier, slot = 1, s
+		}
+	}
+	for s := lo2; s < hi2; s++ {
+		if t.Tier2.Tag[s] == 1 && t.Tier2.Key[s] == key {
+			count++
+			tier, slot = 2, s
+		}
+	}
+	return
+}
+
+func TestBuildAndLookupAllKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 5, 64, 512, 1500} {
+		reqs := makeBatch(rng, n, 16)
+		tbl, err := Build(reqs, DefaultParams())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			c, _, _ := findKey(tbl, reqs.Key[i])
+			if c != 1 {
+				t.Fatalf("n=%d: key %d found %d times, want 1", n, reqs.Key[i], c)
+			}
+		}
+	}
+}
+
+func TestBuildPreservesRecordFields(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	reqs := makeBatch(rng, 200, 16)
+	tbl, err := Build(reqs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reqs.Len(); i++ {
+		_, tier, slot := findKey(tbl, reqs.Key[i])
+		var tr *store.Requests
+		if tier == 1 {
+			tr = tbl.Tier1
+		} else {
+			tr = tbl.Tier2
+		}
+		if tr.Op[slot] != reqs.Op[i] || tr.Seq[slot] != reqs.Seq[i] ||
+			tr.Client[slot] != reqs.Client[i] || tr.Block(slot)[0] != reqs.Block(i)[0] {
+			t.Fatalf("record %d fields mangled in table", i)
+		}
+	}
+}
+
+func TestBuildManySeedsNoOverflow(t *testing.T) {
+	// The negligible-overflow claim, empirically: many batches at the
+	// default geometry must all place.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		n := 100 + rng.Intn(2000)
+		reqs := makeBatch(rng, n, 8)
+		if _, err := Build(reqs, DefaultParams()); err != nil {
+			t.Fatalf("trial %d n=%d: %v", trial, n, err)
+		}
+	}
+}
+
+func TestBuildWithLoadBalancerDummies(t *testing.T) {
+	// LB dummy keys (DummyKeyBit set, TableDummyBit clear) must be placed
+	// and findable like real keys.
+	reqs := store.NewRequests(100, 8)
+	for i := 0; i < 50; i++ {
+		reqs.SetRow(i, store.OpRead, uint64(i), 0, 0, 0, nil)
+	}
+	for i := 50; i < 100; i++ {
+		reqs.SetRow(i, store.OpRead, store.DummyKeyBit|uint64(i), 0, 0, 0, nil)
+	}
+	tbl, err := Build(reqs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if c, _, _ := findKey(tbl, reqs.Key[i]); c != 1 {
+			t.Fatalf("key %x found %d times", reqs.Key[i], c)
+		}
+	}
+}
+
+func TestExtractRecoversBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	reqs := makeBatch(rng, 300, 16)
+	tbl, err := Build(reqs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Extract()
+	if out.Len() != reqs.Len() {
+		t.Fatalf("Extract returned %d rows, want %d", out.Len(), reqs.Len())
+	}
+	want := map[uint64]uint64{}
+	for i := 0; i < reqs.Len(); i++ {
+		want[reqs.Key[i]] = reqs.Seq[i]
+	}
+	for i := 0; i < out.Len(); i++ {
+		seq, ok := want[out.Key[i]]
+		if !ok || seq != out.Seq[i] {
+			t.Fatalf("extracted row %d (key %d) unknown or mangled", i, out.Key[i])
+		}
+		delete(want, out.Key[i])
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d batch rows missing from extraction", len(want))
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	p := DefaultParams()
+	g := p.GeometryFor(4096)
+	if g.B1 != 1024 || g.Z1 != 8 {
+		t.Fatalf("tier-1 geometry: %+v", g)
+	}
+	if g.C2 != 512 || g.B2 != 512 {
+		t.Fatalf("tier-2 geometry: %+v", g)
+	}
+	if g.Z2 < 20 || g.Z2 > 60 {
+		t.Fatalf("tier-2 bucket size out of expected range: %d", g.Z2)
+	}
+	// The paper's two-tier claim: tier-1 buckets are ~10× smaller than a
+	// single-tier table sized for negligible overflow at the same λ.
+	singleTier := singleTierBucket(4096, p.Lambda)
+	if singleTier < 5*g.Z1 {
+		t.Fatalf("two-tier advantage missing: single-tier bucket %d vs Z1 %d", singleTier, g.Z1)
+	}
+	if g.SlotsScannedPerLookup() != g.Z1+g.Z2 {
+		t.Fatal("SlotsScannedPerLookup inconsistent")
+	}
+}
+
+func TestBuildEmptyBatchErrors(t *testing.T) {
+	if _, err := Build(store.NewRequests(0, 8), DefaultParams()); err == nil {
+		t.Fatal("empty batch should error")
+	}
+}
+
+func TestBucketsInRange(t *testing.T) {
+	reqs := makeBatch(rand.New(rand.NewSource(24)), 128, 8)
+	tbl, err := Build(reqs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 1000; id++ {
+		lo1, hi1, lo2, hi2 := tbl.Buckets(id)
+		if lo1 < 0 || hi1 > tbl.Tier1.Len() || hi1-lo1 != tbl.Geom.Z1 {
+			t.Fatalf("tier-1 bucket range bad: [%d,%d)", lo1, hi1)
+		}
+		if lo2 < 0 || hi2 > tbl.Tier2.Len() || hi2-lo2 != tbl.Geom.Z2 {
+			t.Fatalf("tier-2 bucket range bad: [%d,%d)", lo2, hi2)
+		}
+	}
+}
+
+func TestSingleTierQuadraticCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, n := range []int{1, 10, 200} {
+		reqs := makeBatch(rng, n, 8)
+		tbl, err := BuildSingleTierQuadratic(reqs, 64)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := tbl.Bucket(reqs.Key[i])
+			count := 0
+			for s := lo; s < hi; s++ {
+				if tbl.Rows.Tag[s] == 1 && tbl.Rows.Key[s] == reqs.Key[i] {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("n=%d: key %d found %d times", n, reqs.Key[i], count)
+			}
+		}
+	}
+}
+
+// TestTwoTierConstructionBeatsQuadratic reproduces the §5 claim that the
+// two-tier construction is concretely faster at realistic batch sizes.
+func TestTwoTierConstructionBeatsQuadratic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	rng := rand.New(rand.NewSource(26))
+	const n = 1024
+	reqs := makeBatch(rng, n, 32)
+
+	start := time.Now()
+	if _, err := Build(reqs, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	twoTier := time.Since(start)
+
+	start = time.Now()
+	if _, err := BuildSingleTierQuadratic(reqs, 128); err != nil {
+		t.Fatal(err)
+	}
+	quadratic := time.Since(start)
+
+	if quadratic < twoTier {
+		t.Fatalf("quadratic construction (%v) beat two-tier (%v) at n=%d — ablation claim broken",
+			quadratic, twoTier, n)
+	}
+	t.Logf("n=%d: two-tier %v vs quadratic %v (%.1fx)", n, twoTier, quadratic,
+		float64(quadratic)/float64(twoTier))
+}
+
+// TestBuilderMatchesBuild: the buffer-reusing Builder must produce tables
+// equivalent to the allocating path, across repeated batches of varying
+// sizes (exercising scratch reuse and resizing).
+func TestBuilderMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	b := NewBuilder(DefaultParams())
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(800)
+		reqs := makeBatch(rng, n, 16)
+		tbl, err := b.Build(reqs)
+		if err != nil {
+			t.Fatalf("trial %d n=%d: %v", trial, n, err)
+		}
+		for i := 0; i < n; i++ {
+			c, tier, slot := findKey(tbl, reqs.Key[i])
+			if c != 1 {
+				t.Fatalf("trial %d n=%d: key %d found %d times", trial, n, reqs.Key[i], c)
+			}
+			tr := tbl.Tier1
+			if tier == 2 {
+				tr = tbl.Tier2
+			}
+			if tr.Seq[slot] != reqs.Seq[i] {
+				t.Fatalf("trial %d: record fields mangled", trial)
+			}
+		}
+		// The extracted batch must round-trip too.
+		out := tbl.Extract()
+		if out.Len() != n {
+			t.Fatalf("trial %d: extract %d != %d", trial, out.Len(), n)
+		}
+	}
+}
+
+// TestBuilderTablesIndependent: tables from successive Builds must not
+// alias each other's storage.
+func TestBuilderTablesIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	b := NewBuilder(DefaultParams())
+	reqs1 := makeBatch(rng, 100, 8)
+	t1, err := b.Build(reqs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]uint64(nil), t1.Tier1.Key...)
+	reqs2 := makeBatch(rng, 100, 8)
+	if _, err := b.Build(reqs2); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range snapshot {
+		if t1.Tier1.Key[i] != k {
+			t.Fatal("second Build mutated the first table")
+		}
+	}
+}

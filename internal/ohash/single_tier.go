@@ -1,0 +1,20 @@
+package ohash
+
+import "snoopy/internal/batch"
+
+// singleTierBucket returns the bucket size a *single*-tier oblivious hash
+// table would need for n elements at mean load 2 with overflow probability
+// negligible in lambda — the comparison point for the paper's claim that
+// two-tier buckets are ~10× smaller (§5). Exported to benchmarks via
+// SingleTierBucketSize.
+func singleTierBucket(n, lambda int) int {
+	buckets := (n + 1) / 2
+	if buckets < 1 {
+		buckets = 1
+	}
+	return batch.Size(n, buckets, lambda)
+}
+
+// SingleTierBucketSize is the exported form of the single-tier comparison
+// used by the ablation benchmarks (DESIGN.md §5 item 2).
+func SingleTierBucketSize(n, lambda int) int { return singleTierBucket(n, lambda) }

@@ -1,0 +1,53 @@
+package pathoram
+
+import "fmt"
+
+// AccessWithPos performs one access with caller-managed position state:
+// the caller supplies the block's current leaf and the fresh leaf it is
+// being remapped to. This is the primitive recursive ORAMs build on — the
+// position map itself lives in the next ORAM level (internal/oblix), so
+// this instance's internal map is bypassed.
+//
+// mutate is applied to the block's current contents in place (nil for pure
+// reads); the returned slice is a copy of the contents after mutate.
+func (o *ORAM) AccessWithPos(id uint32, oldLeaf, newLeaf uint32, mutate func([]byte)) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(id) >= o.n {
+		return nil, fmt.Errorf("pathoram: block %d out of range", id)
+	}
+	if int(oldLeaf) >= o.nLeaves || int(newLeaf) >= o.nLeaves {
+		return nil, fmt.Errorf("pathoram: leaf out of range")
+	}
+	o.accesses++
+
+	nodes := o.pathNodes(oldLeaf)
+	for _, b := range nodes {
+		for s := range o.buckets[b] {
+			if o.buckets[b][s].occupied {
+				blk := o.buckets[b][s].blk
+				o.buckets[b][s].occupied = false
+				o.stash[blk.id] = &block{id: blk.id, leaf: blk.leaf, data: blk.data}
+			}
+		}
+	}
+	o.bytesMoved += uint64(len(nodes) * Z * o.blockSize)
+
+	target, ok := o.stash[id]
+	if !ok {
+		target = &block{id: id, data: make([]byte, o.blockSize)}
+		o.stash[id] = target
+	}
+	if mutate != nil {
+		mutate(target.data)
+	}
+	out := append([]byte(nil), target.data...)
+	target.leaf = newLeaf
+
+	o.evictPath(nodes, oldLeaf)
+	o.bytesMoved += uint64(len(nodes) * Z * o.blockSize)
+	return out, nil
+}
+
+// NumLeaves returns the leaf count (valid leaves are [0, NumLeaves)).
+func (o *ORAM) NumLeaves() int { return o.nLeaves }

@@ -1,0 +1,218 @@
+// Package pathoram implements Path ORAM (Stefanov et al., CCS'13), the
+// tree-based ORAM that underlies two of the paper's baselines: Oblix's
+// doubly-oblivious ORAM (internal/oblix) and — via Ring ORAM — Obladi
+// (internal/ringoram, internal/obladi).
+//
+// This implementation follows the original client/server split: the server
+// holds a complete binary tree of Z-slot buckets; the client holds the
+// position map and stash. Per access it reads one root-to-leaf path,
+// remaps the block to a fresh random leaf, and writes the path back with
+// greedy eviction.
+//
+// Baseline scope note (DESIGN.md §2): baselines reproduce the algorithms'
+// *cost structure* — the same blocks are moved, the same paths are touched,
+// counted by ServerBytesMoved — while client metadata uses plain Go
+// structures. The paper's own Obladi baseline runs its proxy un-obliviously
+// on a trusted machine, so this matches the original evaluation setup.
+package pathoram
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Z is the bucket capacity used throughout (the standard Path ORAM choice).
+const Z = 4
+
+type block struct {
+	id   uint32 // dense block index
+	leaf uint32
+	data []byte
+}
+
+// ORAM is a single Path ORAM instance over n fixed-size blocks with dense
+// indices 0..n-1.
+type ORAM struct {
+	mu        sync.Mutex
+	blockSize int
+	n         int
+	height    int // tree height; leaves at level height
+	nLeaves   int
+
+	buckets [][]blockSlot // len 2^(height+1)-1, each up to Z slots
+	pos     []uint32      // client: block index -> leaf
+	stash   map[uint32]*block
+	rng     *rand.Rand
+
+	bytesMoved uint64
+	accesses   uint64
+}
+
+type blockSlot struct {
+	occupied bool
+	blk      block
+}
+
+// New creates a Path ORAM holding n zeroed blocks.
+func New(n, blockSize int) (*ORAM, error) {
+	if n <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("pathoram: invalid geometry n=%d block=%d", n, blockSize)
+	}
+	height := 0
+	for 1<<height < n {
+		height++
+	}
+	o := &ORAM{
+		blockSize: blockSize,
+		n:         n,
+		height:    height,
+		nLeaves:   1 << height,
+		buckets:   make([][]blockSlot, (1<<(height+1))-1),
+		pos:       make([]uint32, n),
+		stash:     make(map[uint32]*block),
+		rng:       rand.New(rand.NewSource(rand.Int63())),
+	}
+	for i := range o.buckets {
+		o.buckets[i] = make([]blockSlot, Z)
+	}
+	// Lazy initialization: blocks not yet written live nowhere and read as
+	// zero. Assign random leaves up front.
+	for i := range o.pos {
+		o.pos[i] = uint32(o.rng.Intn(o.nLeaves))
+	}
+	return o, nil
+}
+
+// NumBlocks returns n.
+func (o *ORAM) NumBlocks() int { return o.n }
+
+// BlockSize returns the block size.
+func (o *ORAM) BlockSize() int { return o.blockSize }
+
+// Height returns the tree height (path length is Height+1 buckets).
+func (o *ORAM) Height() int { return o.height }
+
+// pathNodes returns the bucket indices from root to the given leaf.
+func (o *ORAM) pathNodes(leaf uint32) []int {
+	nodes := make([]int, o.height+1)
+	idx := int(leaf) + o.nLeaves - 1 // leaf node index in heap order
+	for l := o.height; l >= 0; l-- {
+		nodes[l] = idx
+		idx = (idx - 1) / 2
+	}
+	return nodes
+}
+
+// Access performs one ORAM access. If write is true the block is replaced
+// with data; the returned slice is the block's previous value. id must be
+// below NumBlocks.
+func (o *ORAM) Access(write bool, id uint32, data []byte) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(id) >= o.n {
+		return nil, fmt.Errorf("pathoram: block %d out of range", id)
+	}
+	o.accesses++
+
+	// 1. Remap.
+	oldLeaf := o.pos[id]
+	o.pos[id] = uint32(o.rng.Intn(o.nLeaves))
+
+	// 2. Read path into stash.
+	nodes := o.pathNodes(oldLeaf)
+	for _, b := range nodes {
+		for s := range o.buckets[b] {
+			if o.buckets[b][s].occupied {
+				blk := o.buckets[b][s].blk
+				o.buckets[b][s].occupied = false
+				o.stash[blk.id] = &block{id: blk.id, leaf: blk.leaf, data: blk.data}
+			}
+		}
+	}
+	o.bytesMoved += uint64(len(nodes) * Z * o.blockSize)
+
+	// 3. Serve the request from the stash.
+	target, ok := o.stash[id]
+	if !ok {
+		target = &block{id: id, data: make([]byte, o.blockSize)}
+		o.stash[id] = target
+	}
+	prev := append([]byte(nil), target.data...)
+	if write {
+		copy(target.data, data)
+		for i := len(data); i < o.blockSize; i++ {
+			target.data[i] = 0
+		}
+		if len(target.data) == 0 {
+			target.data = make([]byte, o.blockSize)
+		}
+	}
+	target.leaf = o.pos[id]
+
+	// 4. Write the path back, evicting greedily from leaf to root.
+	o.evictPath(nodes, oldLeaf)
+	o.bytesMoved += uint64(len(nodes) * Z * o.blockSize)
+	return prev, nil
+}
+
+// evictPath greedily places stash blocks into the path's buckets, deepest
+// first.
+func (o *ORAM) evictPath(nodes []int, leaf uint32) {
+	for l := len(nodes) - 1; l >= 0; l-- {
+		b := nodes[l]
+		free := 0
+		for s := range o.buckets[b] {
+			if !o.buckets[b][s].occupied {
+				free++
+			}
+		}
+		if free == 0 {
+			continue
+		}
+		for id, blk := range o.stash {
+			if free == 0 {
+				break
+			}
+			if !o.pathIntersects(blk.leaf, leaf, l) {
+				continue
+			}
+			for s := range o.buckets[b] {
+				if !o.buckets[b][s].occupied {
+					o.buckets[b][s] = blockSlot{occupied: true, blk: *blk}
+					delete(o.stash, id)
+					free--
+					break
+				}
+			}
+		}
+	}
+}
+
+// pathIntersects reports whether the path to leafA passes through the
+// level-l node of the path to leafB.
+func (o *ORAM) pathIntersects(leafA, leafB uint32, level int) bool {
+	return leafA>>(o.height-level) == leafB>>(o.height-level)
+}
+
+// StashSize returns the client stash occupancy (should stay small w.h.p.).
+func (o *ORAM) StashSize() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.stash)
+}
+
+// ServerBytesMoved returns cumulative server traffic, the baseline cost
+// metric.
+func (o *ORAM) ServerBytesMoved() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bytesMoved
+}
+
+// Accesses returns the number of completed accesses.
+func (o *ORAM) Accesses() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.accesses
+}

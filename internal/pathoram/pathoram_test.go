@@ -1,0 +1,162 @@
+package pathoram
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	o, err := New(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := o.Access(false, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, make([]byte, 16)) {
+		t.Fatalf("unwritten block not zero: %v", v)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	o, _ := New(64, 16)
+	if _, err := o.Access(true, 9, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := o.Access(false, 9, nil)
+	if !bytes.HasPrefix(v, []byte("hello")) {
+		t.Fatalf("round trip lost data: %q", v)
+	}
+}
+
+func TestWriteReturnsPrevious(t *testing.T) {
+	o, _ := New(16, 8)
+	o.Access(true, 3, []byte("one"))
+	prev, _ := o.Access(true, 3, []byte("two"))
+	if !bytes.HasPrefix(prev, []byte("one")) {
+		t.Fatalf("write should return previous value, got %q", prev)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	o, _ := New(8, 8)
+	if _, err := o.Access(false, 8, nil); err == nil {
+		t.Fatal("out-of-range access accepted")
+	}
+}
+
+func TestRandomizedAgainstShadow(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	const n = 200
+	o, _ := New(n, 16)
+	shadow := make([][]byte, n)
+	for i := range shadow {
+		shadow[i] = make([]byte, 16)
+	}
+	for step := 0; step < 4000; step++ {
+		id := uint32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			val := []byte(fmt.Sprintf("s%d", step))
+			if _, err := o.Access(true, id, val); err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 16)
+			copy(b, val)
+			shadow[id] = b
+		} else {
+			v, err := o.Access(false, id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(v, shadow[id]) {
+				t.Fatalf("step %d id %d: got %q want %q", step, id, v, shadow[id])
+			}
+		}
+	}
+}
+
+func TestStashStaysBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 1024
+	o, _ := New(n, 8)
+	maxStash := 0
+	for step := 0; step < 20000; step++ {
+		id := uint32(rng.Intn(n))
+		o.Access(true, id, []byte{byte(step)})
+		if s := o.StashSize(); s > maxStash {
+			maxStash = s
+		}
+	}
+	// Path ORAM stash is O(log n) w.h.p.; anything near n means eviction
+	// is broken.
+	if maxStash > 150 {
+		t.Fatalf("stash grew to %d — eviction broken", maxStash)
+	}
+}
+
+func TestServerTrafficAccounting(t *testing.T) {
+	o, _ := New(256, 32)
+	o.Access(false, 0, nil)
+	per := o.ServerBytesMoved()
+	want := uint64(2 * (o.Height() + 1) * Z * 32) // read + write one path
+	if per != want {
+		t.Fatalf("per-access traffic %d, want %d", per, want)
+	}
+	if o.Accesses() != 1 {
+		t.Fatal("access counter wrong")
+	}
+}
+
+func TestAccessWithPosRoundTrip(t *testing.T) {
+	// The external-position primitive recursive ORAMs use: the caller owns
+	// the position map.
+	o, _ := New(64, 8)
+	pos := make([]uint32, 64)
+	rng := rand.New(rand.NewSource(72))
+	shadow := make([][]byte, 64)
+	for i := range shadow {
+		shadow[i] = make([]byte, 8)
+	}
+	for step := 0; step < 2000; step++ {
+		id := uint32(rng.Intn(64))
+		newLeaf := uint32(rng.Intn(o.NumLeaves()))
+		write := rng.Intn(2) == 0
+		val := []byte{byte(step), byte(step >> 8)}
+		out, err := o.AccessWithPos(id, pos[id], newLeaf, func(b []byte) {
+			if write {
+				copy(b, val)
+				for k := 2; k < len(b); k++ {
+					b[k] = 0
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !write && !bytes.Equal(out, shadow[id]) {
+			t.Fatalf("step %d id %d: got %v want %v", step, id, out, shadow[id])
+		}
+		if write {
+			b := make([]byte, 8)
+			copy(b, val)
+			shadow[id] = b
+		}
+		pos[id] = newLeaf
+	}
+}
+
+func TestAccessWithPosValidation(t *testing.T) {
+	o, _ := New(8, 8)
+	if _, err := o.AccessWithPos(99, 0, 0, nil); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := o.AccessWithPos(0, uint32(o.NumLeaves()), 0, nil); err == nil {
+		t.Fatal("out-of-range old leaf accepted")
+	}
+	if _, err := o.AccessWithPos(0, 0, uint32(o.NumLeaves()), nil); err == nil {
+		t.Fatal("out-of-range new leaf accepted")
+	}
+}

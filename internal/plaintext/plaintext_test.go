@@ -1,0 +1,77 @@
+package plaintext
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestGetSetDelete(t *testing.T) {
+	s := New(4)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("empty store found a key")
+	}
+	if prev, ok := s.Set(1, []byte("a")); ok || prev != nil {
+		t.Fatal("first set reported a previous value")
+	}
+	if prev, ok := s.Set(1, []byte("b")); !ok || !bytes.Equal(prev, []byte("a")) {
+		t.Fatal("second set lost previous value")
+	}
+	v, ok := s.Get(1)
+	if !ok || !bytes.Equal(v, []byte("b")) {
+		t.Fatal("get wrong")
+	}
+	s.Delete(1)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("delete did not remove")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	s := New(2)
+	ids := []uint64{10, 20}
+	data := []byte("aaaabbbb")
+	s.Load(ids, data, 4)
+	v, ok := s.Get(20)
+	if !ok || !bytes.Equal(v, []byte("bbbb")) {
+		t.Fatal("load wrong")
+	}
+}
+
+func TestConcurrentShardedAccess(t *testing.T) {
+	s := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := uint64(w*1000 + i)
+				s.Set(key, []byte{byte(i)})
+				v, ok := s.Get(key)
+				if !ok || v[0] != byte(i) {
+					t.Errorf("key %d wrong", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestShardSpread(t *testing.T) {
+	s := New(16)
+	counts := make(map[*shard]int)
+	for key := uint64(0); key < 16000; key++ {
+		counts[s.shardFor(key)]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("only %d shards used", len(counts))
+	}
+	for _, c := range counts {
+		if c < 500 || c > 2000 {
+			t.Fatalf("shard badly unbalanced: %d", c)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package planner
+
+import (
+	"math"
+	"time"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// Calibrate measures this machine's actual component costs by running the
+// real load balancer and subORAM at a probe size, then fits the analytic
+// model's constants to the measurements (paper §8.5: "the planner takes as
+// input microbenchmarks"). blockSize is the deployment's object size.
+func Calibrate(blockSize, lambda int) CostModel {
+	const (
+		probeReqs = 2048
+		probeSubs = 4
+		probeObjs = 1 << 14
+	)
+	// --- Load balancer probe ---
+	lb := loadbalancer.New(loadbalancer.Config{
+		BlockSize: blockSize, NumSubORAMs: probeSubs, Lambda: lambda,
+	}, crypt.MustNewKey())
+	reqs := store.NewRequests(probeReqs, blockSize)
+	for i := 0; i < probeReqs; i++ {
+		reqs.SetRow(i, store.OpRead, uint64(i), 0, uint64(i), uint64(i), nil)
+	}
+	t0 := time.Now()
+	batches, err := lb.MakeBatches(reqs)
+	if err != nil {
+		return AnalyticModel(2, 50, lambda) // conservative fallback
+	}
+	if _, err := lb.MatchResponses(batches.All, reqs); err != nil {
+		return AnalyticModel(2, 50, lambda)
+	}
+	lbWall := time.Since(t0)
+	m := float64(probeReqs + batches.PerSub*probeSubs)
+	l2 := log2(m)
+	sortNs := float64(lbWall.Nanoseconds()) / (2 * m * l2 * l2)
+
+	// --- SubORAM probe ---
+	sub := suboram.New(suboram.Config{BlockSize: blockSize})
+	ids := make([]uint64, probeObjs)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if err := sub.Init(ids, make([]byte, probeObjs*blockSize)); err != nil {
+		return AnalyticModel(sortNs, 50, lambda)
+	}
+	probeBatch := store.NewRequests(batches.PerSub, blockSize)
+	for i := 0; i < probeBatch.Len(); i++ {
+		probeBatch.SetRow(i, store.OpRead, uint64(i), 0, uint64(i), uint64(i), nil)
+	}
+	t0 = time.Now()
+	if _, err := sub.BatchAccess(probeBatch); err != nil {
+		return AnalyticModel(sortNs, 50, lambda)
+	}
+	subWall := time.Since(t0)
+	// Attribute the build via the sort constant, the rest to the scan.
+	mb := 8 * float64(probeBatch.Len())
+	l2b := log2(mb)
+	buildNs := sortNs * mb * l2b * l2b
+	scanNs := (float64(subWall.Nanoseconds()) - buildNs) / float64(probeObjs)
+	if scanNs <= 0 {
+		scanNs = 1
+	}
+	return AnalyticModel(sortNs, scanNs, lambda)
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}

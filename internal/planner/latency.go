@@ -1,0 +1,107 @@
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"snoopy/internal/batch"
+)
+
+// OptimizeLatency is the planner variant the paper's §6 proposes as an
+// extension: "given a throughput, data size, and cost, output a
+// configuration minimizing latency". It searches configurations whose
+// monthly cost fits the budget, finds for each the smallest epoch that
+// still sustains the required throughput, and returns the one with the
+// lowest resulting average latency (5T/2, Eq. 2).
+func OptimizeLatency(req Requirements, budget float64, m CostModel, prices Prices) (Plan, error) {
+	if req.Lambda <= 0 {
+		req.Lambda = 128
+	}
+	if req.MaxLoadBalancers <= 0 {
+		req.MaxLoadBalancers = 8
+	}
+	if req.MaxSubORAMs <= 0 {
+		req.MaxSubORAMs = 32
+	}
+	if req.MinThroughput <= 0 || req.Objects <= 0 || budget <= 0 {
+		return Plan{}, fmt.Errorf("planner: throughput, objects and budget must be positive")
+	}
+	var best *Plan
+	for s := 1; s <= req.MaxSubORAMs; s++ {
+		for b := 1; b <= req.MaxLoadBalancers; b++ {
+			cost := float64(b)*prices.LoadBalancer + float64(s)*prices.SubORAM
+			if cost > budget {
+				continue
+			}
+			t, ok := minEpoch(req, m, b, s)
+			if !ok {
+				continue
+			}
+			p := Plan{
+				LoadBalancers: b,
+				SubORAMs:      s,
+				Epoch:         t,
+				AvgLatency:    time.Duration(5 * float64(t) / 2),
+				Throughput:    req.MinThroughput,
+				CostPerMonth:  cost,
+			}
+			if best == nil || p.AvgLatency < best.AvgLatency ||
+				(p.AvgLatency == best.AvgLatency && p.CostPerMonth < best.CostPerMonth) {
+				pp := p
+				best = &pp
+			}
+		}
+	}
+	if best == nil {
+		return Plan{}, fmt.Errorf("planner: no configuration within $%.0f/month sustains %g reqs/s",
+			budget, req.MinThroughput)
+	}
+	return *best, nil
+}
+
+// minEpoch binary-searches the smallest epoch T such that the pipeline
+// fits (Eq. 1) at the required load. Processing time grows sublinearly in
+// T while the budget grows linearly, so feasibility is monotone in T.
+func minEpoch(req Requirements, m CostModel, b, s int) (time.Duration, bool) {
+	objectsPerSub := (req.Objects + s - 1) / s
+	fits := func(t time.Duration) bool {
+		if t <= 0 {
+			return false
+		}
+		r := int(req.MinThroughput * t.Seconds() / float64(b))
+		alpha := batchSizeAtLeastOne(r, s, req.Lambda)
+		lbT := m.LBTime(r, s)
+		subT := time.Duration(b) * m.SubTime(alpha, objectsPerSub)
+		t0 := lbT
+		if subT > t0 {
+			t0 = subT
+		}
+		return t0 <= t
+	}
+	// Exponential probe for an upper bound, capped at one hour.
+	hi := time.Millisecond
+	for !fits(hi) {
+		hi *= 2
+		if hi > time.Hour {
+			return 0, false
+		}
+	}
+	lo := time.Duration(0)
+	for i := 0; i < 40 && hi-lo > 10*time.Microsecond; i++ {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+func batchSizeAtLeastOne(r, s, lambda int) int {
+	a := batch.Size(r, s, lambda)
+	if a < 1 {
+		a = 1
+	}
+	return a
+}

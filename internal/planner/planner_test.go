@@ -1,0 +1,179 @@
+package planner
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedModel is a deterministic cost model for unit tests: LB time linear
+// in requests, subORAM time linear in batch plus objects.
+func fixedModel() CostModel {
+	return CostModel{
+		LBTime: func(r, s int) time.Duration {
+			return time.Duration(r) * 10 * time.Microsecond
+		},
+		SubTime: func(batchSize, objectsPerSub int) time.Duration {
+			return time.Duration(batchSize)*20*time.Microsecond +
+				time.Duration(objectsPerSub)*time.Microsecond
+		},
+	}
+}
+
+func TestOptimizeFindsFeasiblePlan(t *testing.T) {
+	p, err := Optimize(Requirements{
+		Objects: 100000, BlockSize: 160,
+		MinThroughput: 2000, MaxLatency: time.Second, Lambda: 128,
+	}, fixedModel(), DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LoadBalancers < 1 || p.SubORAMs < 1 {
+		t.Fatalf("degenerate plan: %+v", p)
+	}
+	if p.AvgLatency > time.Second {
+		t.Fatalf("plan violates latency: %+v", p)
+	}
+	if p.Throughput < 2000*0.99 {
+		t.Fatalf("plan below target throughput: %+v", p)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	_, err := Optimize(Requirements{
+		Objects: 10_000_000, BlockSize: 160,
+		MinThroughput: 1e12, MaxLatency: time.Millisecond,
+		MaxLoadBalancers: 2, MaxSubORAMs: 2,
+	}, fixedModel(), DefaultPrices())
+	if err == nil {
+		t.Fatal("impossible requirements produced a plan")
+	}
+}
+
+func TestOptimizeInvalidInput(t *testing.T) {
+	if _, err := Optimize(Requirements{}, fixedModel(), DefaultPrices()); err == nil {
+		t.Fatal("zero requirements accepted")
+	}
+}
+
+func TestMoreDataNeedsMoreSubORAMs(t *testing.T) {
+	// Paper Fig. 14a: larger data sizes shift the optimum toward more
+	// subORAMs (the linear scan must be partitioned).
+	small, err := Optimize(Requirements{
+		Objects: 10_000, BlockSize: 160,
+		MinThroughput: 50_000, MaxLatency: time.Second,
+	}, fixedModel(), DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Optimize(Requirements{
+		Objects: 1_000_000, BlockSize: 160,
+		MinThroughput: 50_000, MaxLatency: time.Second,
+	}, fixedModel(), DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.SubORAMs <= small.SubORAMs {
+		t.Fatalf("1M objects should need more subORAMs than 10K: %d vs %d",
+			large.SubORAMs, small.SubORAMs)
+	}
+	if large.CostPerMonth < small.CostPerMonth {
+		t.Fatalf("larger data should not be cheaper: $%.0f vs $%.0f",
+			large.CostPerMonth, small.CostPerMonth)
+	}
+}
+
+func TestHigherThroughputCostsMore(t *testing.T) {
+	// Paper Fig. 14b: cost increases with the throughput requirement.
+	prev := 0.0
+	for _, x := range []float64{5_000, 20_000, 80_000} {
+		p, err := Optimize(Requirements{
+			Objects: 100_000, BlockSize: 160,
+			MinThroughput: x, MaxLatency: time.Second,
+		}, fixedModel(), DefaultPrices())
+		if err != nil {
+			t.Fatalf("throughput %g: %v", x, err)
+		}
+		if p.CostPerMonth < prev {
+			t.Fatalf("cost decreased as throughput rose: $%.0f after $%.0f", p.CostPerMonth, prev)
+		}
+		prev = p.CostPerMonth
+	}
+}
+
+func TestMaxThroughputMonotoneInMachines(t *testing.T) {
+	req := Requirements{Objects: 200_000, BlockSize: 160, MaxLatency: time.Second, Lambda: 128}
+	m := fixedModel()
+	prev := 0.0
+	for s := 1; s <= 8; s++ {
+		x := MaxThroughput(req, m, 1, s)
+		if x < prev {
+			t.Fatalf("throughput fell when adding subORAM %d: %g after %g", s, x, prev)
+		}
+		prev = x
+	}
+	if prev == 0 {
+		t.Fatal("no throughput at 8 subORAMs")
+	}
+}
+
+func TestCalibrateProducesUsableModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs real components")
+	}
+	m := Calibrate(160, 128)
+	lb := m.LBTime(1000, 4)
+	sub := m.SubTime(500, 100_000)
+	if lb <= 0 || sub <= 0 {
+		t.Fatalf("calibrated model degenerate: lb=%v sub=%v", lb, sub)
+	}
+	// Sanity: scanning 10× the objects costs more.
+	if m.SubTime(500, 1_000_000) <= sub {
+		t.Fatal("scan cost not increasing in object count")
+	}
+}
+
+func TestOptimizeLatency(t *testing.T) {
+	m := fixedModel()
+	req := Requirements{Objects: 100_000, BlockSize: 160, MinThroughput: 10_000}
+	p, err := OptimizeLatency(req, 5000, m, DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CostPerMonth > 5000 {
+		t.Fatalf("plan over budget: %+v", p)
+	}
+	if p.AvgLatency <= 0 || p.Epoch <= 0 {
+		t.Fatalf("degenerate latency plan: %+v", p)
+	}
+	// A bigger budget should never yield worse latency.
+	p2, err := OptimizeLatency(req, 10000, m, DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.AvgLatency > p.AvgLatency {
+		t.Fatalf("more budget, worse latency: %v vs %v", p2.AvgLatency, p.AvgLatency)
+	}
+	// Budget below one machine pair is infeasible.
+	if _, err := OptimizeLatency(req, 100, m, DefaultPrices()); err == nil {
+		t.Fatal("tiny budget accepted")
+	}
+	if _, err := OptimizeLatency(Requirements{}, 5000, m, DefaultPrices()); err == nil {
+		t.Fatal("zero requirements accepted")
+	}
+}
+
+func TestOptimizeLatencyRespectsThroughput(t *testing.T) {
+	m := fixedModel()
+	p, err := OptimizeLatency(Requirements{
+		Objects: 50_000, BlockSize: 160, MinThroughput: 30_000,
+	}, 8400, m, DefaultPrices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen epoch must actually sustain the load per Eq. (1).
+	r := int(30_000 * p.Epoch.Seconds() / float64(p.LoadBalancers))
+	lbT := m.LBTime(r, p.SubORAMs)
+	if lbT > p.Epoch {
+		t.Fatalf("plan epoch %v cannot fit LB time %v", p.Epoch, lbT)
+	}
+}

@@ -1,0 +1,214 @@
+// Package replica implements the fault-tolerance and rollback-protection
+// extension the paper sketches in §9: each logical subORAM is replicated
+// to f+r+1 nodes, where f bounds crash failures and r bounds replicas an
+// attacker can roll back to stale (but validly sealed) state. A trusted
+// monotonic counter (the ROTE / SGX-counter abstraction, invoked once per
+// epoch exactly as §9 prescribes) identifies the current epoch; every
+// replica's reply carries the epoch its state reflects, so stale replies
+// from rolled-back replicas are detected and discarded. Surviving replies
+// are cross-checked for agreement before one is returned.
+//
+// Group implements core.SubORAMClient, so a replicated partition drops
+// into the system wherever a plain subORAM does.
+package replica
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"snoopy/internal/store"
+)
+
+// Client is the subORAM interface being replicated (kept structural to
+// avoid an import cycle with core).
+type Client interface {
+	Init(ids []uint64, data []byte) error
+	BatchAccess(reqs *store.Requests) (*store.Requests, error)
+}
+
+// ErrNoQuorum is returned when no replica produced a fresh, valid reply.
+var ErrNoQuorum = errors.New("replica: no fresh replica reply available")
+
+// ErrDivergence is returned when fresh replicas disagree — state
+// corruption that replication cannot mask.
+var ErrDivergence = errors.New("replica: fresh replicas disagree")
+
+// Counter is the trusted monotonic counter abstraction of §9 (ROTE or the
+// SGX counter service). Increment is called once per epoch.
+type Counter interface {
+	Increment() uint64
+	Current() uint64
+}
+
+// TrustedCounter is an in-enclave counter simulation.
+type TrustedCounter struct{ v atomic.Uint64 }
+
+// Increment advances and returns the counter.
+func (c *TrustedCounter) Increment() uint64 { return c.v.Add(1) }
+
+// Current returns the counter without advancing it.
+func (c *TrustedCounter) Current() uint64 { return c.v.Load() }
+
+// Replica wraps one replicated node: the node's enclave binds each reply
+// to the epoch its sealed state reflects.
+type Replica struct {
+	mu     sync.Mutex
+	client Client
+	epoch  uint64
+	downed bool
+
+	// initState allows the test hooks to simulate rollback (restoring
+	// stale-but-valid sealed state).
+	initIDs  []uint64
+	initData []byte
+}
+
+// NewReplica wraps a node.
+func NewReplica(c Client) *Replica { return &Replica{client: c} }
+
+// Fail marks the replica crashed (test / chaos hook).
+func (r *Replica) Fail() {
+	r.mu.Lock()
+	r.downed = true
+	r.mu.Unlock()
+}
+
+// Recover brings a crashed replica back — with whatever state it has,
+// which may be stale; the epoch check handles that.
+func (r *Replica) Recover() {
+	r.mu.Lock()
+	r.downed = false
+	r.mu.Unlock()
+}
+
+// Rollback simulates the §9 attack: the host restarts the enclave from an
+// old sealed snapshot. State and the sealed epoch both revert.
+func (r *Replica) Rollback() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.client.Init(r.initIDs, r.initData); err != nil {
+		return err
+	}
+	r.epoch = 0
+	return nil
+}
+
+// Group is a replicated logical subORAM.
+type Group struct {
+	replicas []*Replica
+	counter  Counter
+	f, r     int
+}
+
+// NewGroup builds a group tolerating f crashes and r rollbacks; it
+// requires exactly f+r+1 replicas (paper §9).
+func NewGroup(replicas []*Replica, counter Counter, f, r int) (*Group, error) {
+	if f < 0 || r < 0 {
+		return nil, fmt.Errorf("replica: negative fault bounds")
+	}
+	if len(replicas) != f+r+1 {
+		return nil, fmt.Errorf("replica: need f+r+1 = %d replicas, have %d", f+r+1, len(replicas))
+	}
+	if counter == nil {
+		counter = &TrustedCounter{}
+	}
+	return &Group{replicas: replicas, counter: counter, f: f, r: r}, nil
+}
+
+// Init loads all replicas and records the snapshot rollbacks revert to.
+func (g *Group) Init(ids []uint64, data []byte) error {
+	var errs []error
+	for _, rep := range g.replicas {
+		rep.mu.Lock()
+		rep.initIDs = append([]uint64(nil), ids...)
+		rep.initData = append([]byte(nil), data...)
+		rep.epoch = 0
+		err := rep.client.Init(ids, data)
+		rep.mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// BatchAccess executes the batch on every live replica, advances the
+// trusted counter, discards stale or crashed replies, verifies the
+// remainder agree, and returns one of them.
+func (g *Group) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	epoch := g.counter.Increment()
+
+	type reply struct {
+		out   *store.Requests
+		epoch uint64
+		err   error
+	}
+	replies := make([]reply, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		i, rep := i, rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep.mu.Lock()
+			defer rep.mu.Unlock()
+			if rep.downed {
+				replies[i] = reply{err: fmt.Errorf("replica %d down", i)}
+				return
+			}
+			out, err := rep.client.BatchAccess(reqs.Clone())
+			if err != nil {
+				replies[i] = reply{err: err}
+				return
+			}
+			rep.epoch++
+			replies[i] = reply{out: out, epoch: rep.epoch}
+		}()
+	}
+	wg.Wait()
+
+	// Keep only replies whose sealed epoch matches the trusted counter.
+	var fresh []*store.Requests
+	for _, rp := range replies {
+		if rp.err != nil || rp.epoch != epoch {
+			continue
+		}
+		fresh = append(fresh, rp.out)
+	}
+	if len(fresh) == 0 {
+		return nil, ErrNoQuorum
+	}
+	want := digestResponses(fresh[0])
+	for _, out := range fresh[1:] {
+		if digestResponses(out) != want {
+			return nil, ErrDivergence
+		}
+	}
+	return fresh[0], nil
+}
+
+// digestResponses hashes the response contents (key → value/found mapping;
+// row order is not semantically meaningful, so rows are folded
+// order-independently).
+func digestResponses(out *store.Requests) [sha256.Size]byte {
+	var acc [sha256.Size]byte
+	for i := 0; i < out.Len(); i++ {
+		h := sha256.New()
+		var kb [9]byte
+		for b := 0; b < 8; b++ {
+			kb[b] = byte(out.Key[i] >> (8 * b))
+		}
+		kb[8] = out.Aux[i]
+		h.Write(kb[:])
+		h.Write(out.Block(i))
+		var row [sha256.Size]byte
+		h.Sum(row[:0])
+		for b := range acc {
+			acc[b] ^= row[b]
+		}
+	}
+	return acc
+}

@@ -1,0 +1,189 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+const testBlock = 16
+
+func newGroup(t *testing.T, f, r int) (*Group, []*Replica) {
+	t.Helper()
+	n := f + r + 1
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = NewReplica(suboram.New(suboram.Config{BlockSize: testBlock}))
+	}
+	g, err := NewGroup(reps, nil, f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []uint64{1, 2, 3}
+	data := make([]byte, 3*testBlock)
+	copy(data, []byte("one"))
+	copy(data[testBlock:], []byte("two"))
+	if err := g.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	return g, reps
+}
+
+func readKey(t *testing.T, g *Group, key uint64) ([]byte, bool) {
+	t.Helper()
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpRead, key, 0, 0, 0, nil)
+	out, err := g.BatchAccess(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Block(0), out.Aux[0] == 1
+}
+
+func writeKey(t *testing.T, g *Group, key uint64, val []byte) {
+	t.Helper()
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpWrite, key, 0, 0, 0, val)
+	if _, err := g.BatchAccess(reqs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBasicOperation(t *testing.T) {
+	g, _ := newGroup(t, 1, 1)
+	v, found := readKey(t, g, 2)
+	if !found || !bytes.HasPrefix(v, []byte("two")) {
+		t.Fatalf("read through group: %q %v", v, found)
+	}
+	writeKey(t, g, 2, []byte("TWO"))
+	v, _ = readKey(t, g, 2)
+	if !bytes.HasPrefix(v, []byte("TWO")) {
+		t.Fatalf("write through group lost: %q", v)
+	}
+}
+
+func TestGroupSurvivesCrashes(t *testing.T) {
+	g, reps := newGroup(t, 2, 0)
+	writeKey(t, g, 1, []byte("before"))
+	reps[0].Fail()
+	reps[2].Fail()
+	v, found := readKey(t, g, 1)
+	if !found || !bytes.HasPrefix(v, []byte("before")) {
+		t.Fatalf("read with 2 crashed replicas: %q %v", v, found)
+	}
+}
+
+func TestGroupDetectsRollback(t *testing.T) {
+	g, reps := newGroup(t, 0, 1)
+	writeKey(t, g, 3, []byte("v1"))
+	// Roll one replica back to its initial sealed snapshot. Its reply
+	// epoch will lag the trusted counter, so it must be excluded; the
+	// fresh replica serves the correct value.
+	if err := reps[1].Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	v, found := readKey(t, g, 3)
+	if !found || !bytes.HasPrefix(v, []byte("v1")) {
+		t.Fatalf("rolled-back replica leaked stale data: %q %v", v, found)
+	}
+}
+
+func TestGroupAllStaleIsNoQuorum(t *testing.T) {
+	g, reps := newGroup(t, 0, 0) // single replica, no tolerance
+	writeKey(t, g, 1, []byte("x"))
+	if err := reps[0].Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpRead, 1, 0, 0, 0, nil)
+	if _, err := g.BatchAccess(reqs); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("expected ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestGroupAllCrashedIsNoQuorum(t *testing.T) {
+	g, reps := newGroup(t, 1, 0)
+	for _, r := range reps {
+		r.Fail()
+	}
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpRead, 1, 0, 0, 0, nil)
+	if _, err := g.BatchAccess(reqs); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("expected ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestGroupRecoveredStaleReplicaStaysExcluded(t *testing.T) {
+	g, reps := newGroup(t, 1, 1)
+	writeKey(t, g, 1, []byte("fresh"))
+	reps[0].Fail()
+	writeKey(t, g, 1, []byte("fresher")) // replica 0 misses this epoch
+	reps[0].Recover()
+	// Replica 0's epoch now lags; its replies are stale until resynced.
+	v, found := readKey(t, g, 1)
+	if !found || !bytes.HasPrefix(v, []byte("fresher")) {
+		t.Fatalf("stale recovered replica served: %q %v", v, found)
+	}
+}
+
+// divergentClient wraps a subORAM and corrupts every response.
+type divergentClient struct{ inner Client }
+
+func (d divergentClient) Init(ids []uint64, data []byte) error { return d.inner.Init(ids, data) }
+
+func (d divergentClient) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	out, err := d.inner.BatchAccess(reqs)
+	if err != nil {
+		return nil, err
+	}
+	if out.Len() > 0 {
+		out.Block(0)[0] ^= 0xFF
+	}
+	return out, nil
+}
+
+func TestGroupDetectsDivergence(t *testing.T) {
+	reps := []*Replica{
+		NewReplica(suboram.New(suboram.Config{BlockSize: testBlock})),
+		NewReplica(divergentClient{suboram.New(suboram.Config{BlockSize: testBlock})}),
+	}
+	g, err := NewGroup(reps, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Init([]uint64{1}, make([]byte, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpRead, 1, 0, 0, 0, nil)
+	if _, err := g.BatchAccess(reqs); !errors.Is(err, ErrDivergence) {
+		t.Fatalf("expected ErrDivergence, got %v", err)
+	}
+}
+
+func TestGroupSizeValidation(t *testing.T) {
+	if _, err := NewGroup([]*Replica{NewReplica(nil)}, nil, 1, 1); err == nil {
+		t.Fatal("wrong replica count accepted")
+	}
+	if _, err := NewGroup(nil, nil, -1, 0); err == nil {
+		t.Fatal("negative f accepted")
+	}
+}
+
+func TestTrustedCounterMonotone(t *testing.T) {
+	var c TrustedCounter
+	if c.Current() != 0 {
+		t.Fatal("counter should start at zero")
+	}
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		v := c.Increment()
+		if v <= prev {
+			t.Fatal("counter not monotone")
+		}
+		prev = v
+	}
+}

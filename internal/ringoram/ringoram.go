@@ -1,0 +1,320 @@
+// Package ringoram implements Ring ORAM (Ren et al., USENIX Security'15),
+// the tree ORAM that Obladi — the paper's main baseline (§8.1) — batches
+// and parallelizes. Compared to Path ORAM, Ring ORAM reads only ONE slot
+// per bucket on the access path (real block or an untouched dummy) and
+// amortizes eviction over A accesses along reverse-lexicographic paths,
+// with early reshuffles when a bucket runs out of fresh dummies.
+//
+// As with the other baselines, the trusted-proxy metadata (position map,
+// per-bucket slot maps) uses plain structures — exactly the Obladi trust
+// model, where the proxy is a trusted machine — while server block traffic
+// is fully accounted via ServerBytesMoved.
+package ringoram
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Params are the Ring ORAM geometry parameters.
+type Params struct {
+	Z int // real slots per bucket
+	S int // dummy slots per bucket
+	A int // eviction period (accesses per EvictPath)
+}
+
+// DefaultParams follows the Ring ORAM paper's small-Z regime with a
+// comfortable dummy budget.
+func DefaultParams() Params { return Params{Z: 4, S: 6, A: 3} }
+
+type slotMeta struct {
+	valid   bool // holds a live real block
+	touched bool // consumed since last reshuffle
+	id      uint32
+	leaf    uint32
+}
+
+type bucket struct {
+	slots   []slotMeta
+	data    [][]byte // slot payloads (server side)
+	touched int      // touched-slot count since last reshuffle
+}
+
+type stashBlock struct {
+	leaf uint32
+	data []byte
+}
+
+// ORAM is a Ring ORAM instance over dense block indices 0..n-1.
+type ORAM struct {
+	mu        sync.Mutex
+	p         Params
+	blockSize int
+	n         int
+	height    int
+	nLeaves   int
+
+	buckets []bucket
+	pos     []uint32
+	stash   map[uint32]*stashBlock
+	rng     *rand.Rand
+
+	accessCount uint64
+	evictG      uint64 // reverse-lexicographic eviction counter
+	bytesMoved  uint64
+	reshuffles  uint64
+}
+
+// New creates a Ring ORAM holding n zeroed blocks.
+func New(n, blockSize int, p Params) (*ORAM, error) {
+	if n <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("ringoram: invalid geometry n=%d block=%d", n, blockSize)
+	}
+	if p.Z <= 0 || p.S <= 0 || p.A <= 0 || p.A > p.Z+p.S {
+		return nil, fmt.Errorf("ringoram: invalid params %+v", p)
+	}
+	height := 0
+	for 1<<height < n {
+		height++
+	}
+	o := &ORAM{
+		p:         p,
+		blockSize: blockSize,
+		n:         n,
+		height:    height,
+		nLeaves:   1 << height,
+		buckets:   make([]bucket, (1<<(height+1))-1),
+		pos:       make([]uint32, n),
+		stash:     make(map[uint32]*stashBlock),
+		rng:       rand.New(rand.NewSource(rand.Int63())),
+	}
+	for i := range o.buckets {
+		o.buckets[i] = bucket{
+			slots: make([]slotMeta, p.Z+p.S),
+			data:  make([][]byte, p.Z+p.S),
+		}
+	}
+	for i := range o.pos {
+		o.pos[i] = uint32(o.rng.Intn(o.nLeaves))
+	}
+	return o, nil
+}
+
+// NumBlocks returns n.
+func (o *ORAM) NumBlocks() int { return o.n }
+
+// Height returns the tree height.
+func (o *ORAM) Height() int { return o.height }
+
+func (o *ORAM) pathNodes(leaf uint32) []int {
+	nodes := make([]int, o.height+1)
+	idx := int(leaf) + o.nLeaves - 1
+	for l := o.height; l >= 0; l-- {
+		nodes[l] = idx
+		idx = (idx - 1) / 2
+	}
+	return nodes
+}
+
+// Access performs one ORAM access (ReadPath + amortized EvictPath).
+func (o *ORAM) Access(write bool, id uint32, data []byte) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if int(id) >= o.n {
+		return nil, fmt.Errorf("ringoram: block %d out of range", id)
+	}
+
+	oldLeaf := o.pos[id]
+	o.pos[id] = uint32(o.rng.Intn(o.nLeaves))
+	o.readPath(id, oldLeaf)
+
+	blk, ok := o.stash[id]
+	if !ok {
+		blk = &stashBlock{data: make([]byte, o.blockSize)}
+		o.stash[id] = blk
+	}
+	blk.leaf = o.pos[id]
+	prev := append([]byte(nil), blk.data...)
+	if write {
+		copy(blk.data, data)
+		for i := len(data); i < o.blockSize; i++ {
+			blk.data[i] = 0
+		}
+	}
+
+	o.accessCount++
+	if o.accessCount%uint64(o.p.A) == 0 {
+		o.evictPath(o.reverseLexLeaf())
+	}
+	return prev, nil
+}
+
+// readPath reads exactly one slot per bucket on the path: the target block
+// where present, an untouched dummy elsewhere (early-reshuffling buckets
+// that have no fresh dummy left). Reshuffles triggered here must never
+// place the in-flight block id back into the tree before the access has
+// served it, so id is excluded from placement.
+func (o *ORAM) readPath(id uint32, leaf uint32) {
+	for _, b := range o.pathNodes(leaf) {
+		bk := &o.buckets[b]
+		hit := -1
+		for s := range bk.slots {
+			if bk.slots[s].valid && !bk.slots[s].touched && bk.slots[s].id == id {
+				hit = s
+				break
+			}
+		}
+		if hit >= 0 {
+			// Move the real block to the stash; the slot is spent.
+			o.stash[id] = &stashBlock{leaf: o.pos[id], data: bk.data[hit]}
+			bk.slots[hit].valid = false
+			bk.slots[hit].touched = true
+			bk.touched++
+			o.bytesMoved += uint64(o.blockSize)
+		} else {
+			// Read a fresh dummy.
+			d := o.freshDummy(bk)
+			if d < 0 {
+				o.reshuffle(b, id)
+				d = o.freshDummy(bk)
+			}
+			bk.slots[d].touched = true
+			bk.touched++
+			o.bytesMoved += uint64(o.blockSize)
+		}
+		if bk.touched >= o.p.S {
+			o.reshuffle(b, id)
+		}
+	}
+}
+
+// freshDummy returns an untouched, invalid slot index, or -1.
+func (o *ORAM) freshDummy(bk *bucket) int {
+	for s := range bk.slots {
+		if !bk.slots[s].valid && !bk.slots[s].touched {
+			return s
+		}
+	}
+	return -1
+}
+
+// noExclude is passed when every stash block may be placed.
+const noExclude = ^uint32(0)
+
+// reshuffle (early reshuffle): pull the bucket's live blocks into the
+// stash and rewrite the bucket with a fresh permutation, never placing
+// block `exclude`.
+func (o *ORAM) reshuffle(b int, exclude uint32) {
+	bk := &o.buckets[b]
+	for s := range bk.slots {
+		if bk.slots[s].valid {
+			o.stash[bk.slots[s].id] = &stashBlock{leaf: bk.slots[s].leaf, data: bk.data[s]}
+			o.bytesMoved += uint64(o.blockSize)
+		}
+		bk.slots[s] = slotMeta{}
+	}
+	bk.touched = 0
+	o.fillBucket(b, o.bucketLevel(b), o.anyLeafThrough(b), exclude)
+	o.reshuffles++
+}
+
+// evictPath performs the Ring ORAM eviction along the next
+// reverse-lexicographic path: read all live blocks on the path into the
+// stash, then rewrite every bucket with greedily placed blocks.
+func (o *ORAM) evictPath(leaf uint32) {
+	nodes := o.pathNodes(leaf)
+	for _, b := range nodes {
+		bk := &o.buckets[b]
+		for s := range bk.slots {
+			if bk.slots[s].valid {
+				o.stash[bk.slots[s].id] = &stashBlock{leaf: bk.slots[s].leaf, data: bk.data[s]}
+				o.bytesMoved += uint64(o.blockSize)
+			}
+			bk.slots[s] = slotMeta{}
+		}
+		bk.touched = 0
+	}
+	for l := len(nodes) - 1; l >= 0; l-- {
+		o.fillBucket(nodes[l], l, leaf, noExclude)
+	}
+}
+
+// fillBucket writes bucket b at the given level (on the path to leaf) with
+// up to Z stash blocks whose paths pass through it, plus fresh dummies.
+func (o *ORAM) fillBucket(b, level int, leaf uint32, exclude uint32) {
+	bk := &o.buckets[b]
+	placed := 0
+	perm := o.rng.Perm(len(bk.slots))
+	pi := 0
+	for id, blk := range o.stash {
+		if placed == o.p.Z {
+			break
+		}
+		if id == exclude || blk.leaf>>(o.height-level) != leaf>>(o.height-level) {
+			continue
+		}
+		s := perm[pi]
+		pi++
+		bk.slots[s] = slotMeta{valid: true, id: id, leaf: blk.leaf}
+		bk.data[s] = blk.data
+		delete(o.stash, id)
+		placed++
+		o.bytesMoved += uint64(o.blockSize)
+	}
+	// Remaining slots hold fresh dummies (written as full slots on the
+	// server: account their traffic too).
+	o.bytesMoved += uint64((len(bk.slots) - placed) * o.blockSize)
+}
+
+// bucketLevel returns the depth of heap node b.
+func (o *ORAM) bucketLevel(b int) int {
+	l := 0
+	for (1<<(l+1))-1 <= b {
+		l++
+	}
+	return l
+}
+
+// anyLeafThrough returns some leaf whose path passes through node b.
+func (o *ORAM) anyLeafThrough(b int) uint32 {
+	// Descend to the leftmost leaf under b.
+	for b < o.nLeaves-1 {
+		b = 2*b + 1
+	}
+	return uint32(b - (o.nLeaves - 1))
+}
+
+// reverseLexLeaf returns the next eviction leaf in reverse-lexicographic
+// order (bit-reversed counter).
+func (o *ORAM) reverseLexLeaf() uint32 {
+	g := o.evictG
+	o.evictG++
+	var leaf uint32
+	for i := 0; i < o.height; i++ {
+		leaf = leaf<<1 | uint32(g&1)
+		g >>= 1
+	}
+	return leaf
+}
+
+// StashSize returns the proxy stash occupancy.
+func (o *ORAM) StashSize() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.stash)
+}
+
+// ServerBytesMoved returns cumulative server traffic.
+func (o *ORAM) ServerBytesMoved() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bytesMoved
+}
+
+// Reshuffles returns the early-reshuffle count.
+func (o *ORAM) Reshuffles() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reshuffles
+}

@@ -1,0 +1,106 @@
+package ringoram
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	o, err := New(128, 16, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Access(true, 17, []byte("ring")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := o.Access(false, 17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v, []byte("ring")) {
+		t.Fatalf("round trip lost data: %q", v)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := New(8, 8, Params{Z: 0, S: 1, A: 1}); err == nil {
+		t.Fatal("Z=0 accepted")
+	}
+	if _, err := New(0, 8, DefaultParams()); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestRandomizedAgainstShadow(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	const n = 256
+	o, _ := New(n, 16, DefaultParams())
+	shadow := make([][]byte, n)
+	for i := range shadow {
+		shadow[i] = make([]byte, 16)
+	}
+	for step := 0; step < 8000; step++ {
+		id := uint32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			val := []byte(fmt.Sprintf("s%d", step))
+			if _, err := o.Access(true, id, val); err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 16)
+			copy(b, val)
+			shadow[id] = b
+		} else {
+			v, err := o.Access(false, id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(v, shadow[id]) {
+				t.Fatalf("step %d id %d: got %q want %q", step, id, v, shadow[id])
+			}
+		}
+	}
+}
+
+func TestStashBoundedAndReshufflesHappen(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const n = 1024
+	o, _ := New(n, 8, DefaultParams())
+	maxStash := 0
+	for step := 0; step < 30000; step++ {
+		o.Access(true, uint32(rng.Intn(n)), []byte{byte(step)})
+		if s := o.StashSize(); s > maxStash {
+			maxStash = s
+		}
+	}
+	if maxStash > 300 {
+		t.Fatalf("stash grew to %d — eviction broken", maxStash)
+	}
+	if o.Reshuffles() == 0 {
+		t.Fatal("no early reshuffles over 30k accesses — S accounting broken")
+	}
+}
+
+// TestReadPathTrafficBelowPathORAM checks Ring ORAM's headline property:
+// per-access read traffic is ~1 block per bucket instead of Z.
+func TestReadPathTrafficBelowPathORAM(t *testing.T) {
+	const n, block = 4096, 64
+	o, _ := New(n, block, DefaultParams())
+	rng := rand.New(rand.NewSource(92))
+	// Warm up, then measure.
+	for i := 0; i < 1000; i++ {
+		o.Access(false, uint32(rng.Intn(n)), nil)
+	}
+	before := o.ServerBytesMoved()
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		o.Access(false, uint32(rng.Intn(n)), nil)
+	}
+	perAccess := float64(o.ServerBytesMoved()-before) / probes
+	pathORAMCost := float64(2 * (o.Height() + 1) * 4 * block) // read+write Z=4 paths
+	if perAccess >= pathORAMCost {
+		t.Fatalf("Ring ORAM per-access traffic %.0f not below Path ORAM %.0f",
+			perAccess, pathORAMCost)
+	}
+}

@@ -1,0 +1,244 @@
+// Package simnet is a discrete-event simulator of a Snoopy deployment: L
+// load-balancer machines and S subORAM machines exchanging epoch batches
+// over finite-bandwidth links, fed by Poisson client arrivals. Component
+// processing times come from a measured cost model (internal/planner), so
+// the simulator independently validates the closed-form pipeline equations
+// (paper §6, Eq. 1–2) that the figure harness uses — including the
+// queueing and pipelining effects the closed form abstracts away
+// ("We can pipeline the subORAM and load balancer processing", §6).
+//
+// The simulation is epoch-stepped: stage start times respect both data
+// dependencies (batches must arrive before processing) and resource
+// availability (a machine runs one stage at a time), which is exactly a
+// pipelined schedule. Sustained throughput is the largest arrival rate for
+// which the pipeline lag stays bounded.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"snoopy/internal/batch"
+	"snoopy/internal/planner"
+)
+
+// Config describes the simulated deployment and offered load.
+type Config struct {
+	LBs, Subs      int
+	Objects        int
+	Block          int
+	Lambda         int
+	Epoch          time.Duration
+	Arrival        float64 // offered load, requests/second
+	Model          planner.CostModel
+	NetRTT         time.Duration
+	NetBytesPerSec float64
+	Epochs         int // simulated epochs (default 50)
+	Seed           int64
+}
+
+func (c *Config) fill() error {
+	if c.LBs <= 0 || c.Subs <= 0 || c.Objects <= 0 || c.Block <= 0 {
+		return fmt.Errorf("simnet: LBs, Subs, Objects, Block must be positive")
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 128
+	}
+	if c.Epoch <= 0 {
+		return fmt.Errorf("simnet: Epoch must be positive")
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.Model.LBTime == nil || c.Model.SubTime == nil {
+		return fmt.Errorf("simnet: cost model required")
+	}
+	return nil
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Completed   int
+	Throughput  float64 // completed requests / simulated duration
+	MeanLatency time.Duration
+	P50, P99    time.Duration
+	// Lag is the final pipeline lag (completion time minus epoch close);
+	// unbounded growth means the offered load exceeds capacity.
+	Lag    time.Duration
+	Stable bool
+}
+
+// Run simulates the deployment for the configured number of epochs.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	T := cfg.Epoch.Seconds()
+	objectsPerSub := (cfg.Objects + cfg.Subs - 1) / cfg.Subs
+
+	net := func(bytes int) time.Duration {
+		if cfg.NetBytesPerSec <= 0 {
+			return cfg.NetRTT
+		}
+		return cfg.NetRTT + time.Duration(float64(bytes)/cfg.NetBytesPerSec*1e9)
+	}
+
+	lbFree := make([]float64, cfg.LBs) // seconds
+	subFree := make([]float64, cfg.Subs)
+	var latencies []float64
+	var midLag, endLag float64
+	completed := 0
+
+	for k := 0; k < cfg.Epochs; k++ {
+		epochClose := float64(k+1) * T
+		// Poisson arrivals for this epoch, split across LBs.
+		perLB := make([]int, cfg.LBs)
+		total := poisson(rng, cfg.Arrival*T)
+		for i := 0; i < total; i++ {
+			perLB[rng.Intn(cfg.LBs)]++
+		}
+
+		// Stage 1: each LB builds its batches once the epoch closes and the
+		// machine is free. The measured LBTime covers make+match; split it
+		// between the two stages.
+		makeDone := make([]float64, cfg.LBs)
+		alpha := make([]int, cfg.LBs)
+		for i := 0; i < cfg.LBs; i++ {
+			a := batch.Size(perLB[i], cfg.Subs, cfg.Lambda)
+			if a == 0 {
+				a = 1
+			}
+			alpha[i] = a
+			lbT := cfg.Model.LBTime(perLB[i], cfg.Subs).Seconds() / 2
+			start := maxf(epochClose, lbFree[i])
+			makeDone[i] = start + lbT
+			lbFree[i] = makeDone[i]
+		}
+
+		// Stage 2: each subORAM processes the L batches in LB order.
+		respArrive := make([][]float64, cfg.LBs)
+		for i := range respArrive {
+			respArrive[i] = make([]float64, cfg.Subs)
+		}
+		for s := 0; s < cfg.Subs; s++ {
+			for i := 0; i < cfg.LBs; i++ {
+				arrive := makeDone[i] + net(alpha[i]*(cfg.Block+64)).Seconds()
+				start := maxf(arrive, subFree[s])
+				done := start + cfg.Model.SubTime(alpha[i], objectsPerSub).Seconds()
+				subFree[s] = done
+				respArrive[i][s] = done + net(alpha[i]*(cfg.Block+64)).Seconds()
+			}
+		}
+
+		// Stage 3: each LB matches once all its responses are in.
+		for i := 0; i < cfg.LBs; i++ {
+			ready := 0.0
+			for s := 0; s < cfg.Subs; s++ {
+				ready = maxf(ready, respArrive[i][s])
+			}
+			start := maxf(ready, lbFree[i])
+			done := start + cfg.Model.LBTime(perLB[i], cfg.Subs).Seconds()/2
+			lbFree[i] = done
+
+			// Requests arrived uniformly within the epoch window.
+			for r := 0; r < perLB[i]; r++ {
+				arrival := float64(k)*T + rng.Float64()*T
+				latencies = append(latencies, done-arrival)
+			}
+			completed += perLB[i]
+			lag := done - epochClose
+			if k == cfg.Epochs/2 && lag > midLag {
+				midLag = lag
+			}
+			if k == cfg.Epochs-1 && lag > endLag {
+				endLag = lag
+			}
+		}
+	}
+
+	res := Result{Completed: completed}
+	dur := float64(cfg.Epochs) * T
+	res.Throughput = float64(completed) / dur
+	res.Lag = time.Duration(endLag * 1e9)
+	// Stable if the pipeline lag stopped growing between the midpoint and
+	// the end (allowing one epoch of jitter).
+	res.Stable = endLag-midLag < T*float64(cfg.Epochs)/2*0.1 && endLag < 20*T
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = time.Duration(sum / float64(len(latencies)) * 1e9)
+		res.P50 = time.Duration(latencies[len(latencies)/2] * 1e9)
+		res.P99 = time.Duration(latencies[len(latencies)*99/100] * 1e9)
+	}
+	return res, nil
+}
+
+// MaxStableThroughput binary-searches the largest offered load the
+// deployment sustains with bounded lag and mean latency within bound.
+func MaxStableThroughput(cfg Config, latencyBound time.Duration) (float64, error) {
+	if err := cfg.fill(); err != nil {
+		return 0, err
+	}
+	ok := func(x float64) bool {
+		c := cfg
+		c.Arrival = x
+		r, err := Run(c)
+		if err != nil {
+			return false
+		}
+		return r.Stable && (latencyBound <= 0 || r.MeanLatency <= latencyBound)
+	}
+	if !ok(1) {
+		return 0, nil
+	}
+	lo, hi := 1.0, 2.0
+	for ok(hi) && hi < 1e9 {
+		lo, hi = hi, hi*2
+	}
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	// Knuth for small means, normal approximation for large.
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := mean + rng.NormFloat64()*math.Sqrt(mean)
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+// Package store defines the fixed-layout request/response records that flow
+// between Snoopy's load balancers and subORAMs, implemented as a columnar
+// record set supporting the oblivious operations (conditional row swap/copy,
+// sort orderings) that the batching algorithms of §4–§5 are built from.
+//
+// Every record carries the same fixed-size value block, so record size — and
+// therefore the memory traffic of every oblivious pass — is a public
+// constant.
+package store
+
+import (
+	"fmt"
+
+	"snoopy/internal/obliv"
+	"snoopy/internal/trace"
+)
+
+// Operation codes. OpRead must be the zero value: zeroed records are dummy
+// reads.
+const (
+	OpRead  uint8 = 0
+	OpWrite uint8 = 1
+)
+
+// DummyKeyBit marks dummy identifiers. Real object identifiers must stay
+// below it; the load balancer and hash table mint dummy keys above it, which
+// guarantees (a) dummies never match a stored object and (b) sorting by key
+// pushes dummies after all real requests.
+const DummyKeyBit = uint64(1) << 63
+
+// IsDummyKey reports (branch-free callers should use the mask directly)
+// whether key is in the dummy space.
+func IsDummyKey(key uint64) bool { return key&DummyKeyBit != 0 }
+
+// DummyMark returns 1 if key is a dummy key, else 0, branch-free.
+func DummyMark(key uint64) uint8 { return uint8(key >> 63) }
+
+// Requests is a columnar set of n request/response records with a fixed
+// value block size. Columns:
+//
+//	Op     — OpRead or OpWrite
+//	Key    — object identifier (or dummy key)
+//	Sub    — scratch routing tag: subORAM index at the load balancer,
+//	         hash-table bucket at the subORAM
+//	Tag    — scratch 0/1 mark bit for compaction passes
+//	Aux    — second scratch 0/1 mark bit (e.g. the subORAM found bit)
+//	Seq    — arrival sequence number (last-write-wins tiebreak)
+//	Client — opaque routing cookie, carried alongside but never inspected
+//	         by oblivious passes
+//	Data   — n fixed-size value blocks, flattened
+type Requests struct {
+	BlockSize int
+	// Rec, when non-nil, records the access trace of every oblivious
+	// operation for the obliviousness tests (see internal/trace). Tracing
+	// is a single-threaded test facility.
+	Rec    *trace.Recorder
+	Op     []uint8
+	Key    []uint64
+	Sub    []uint32
+	Tag    []uint8
+	Aux    []uint8
+	Seq    []uint64
+	Client []uint64
+	Data   []byte
+}
+
+// NewRequests allocates n zeroed records (dummy reads of key 0) with the
+// given value block size.
+func NewRequests(n, blockSize int) *Requests {
+	if n < 0 || blockSize <= 0 {
+		panic(fmt.Sprintf("store: invalid Requests dims n=%d block=%d", n, blockSize))
+	}
+	return &Requests{
+		BlockSize: blockSize,
+		Op:        make([]uint8, n),
+		Key:       make([]uint64, n),
+		Sub:       make([]uint32, n),
+		Tag:       make([]uint8, n),
+		Aux:       make([]uint8, n),
+		Seq:       make([]uint64, n),
+		Client:    make([]uint64, n),
+		Data:      make([]byte, n*blockSize),
+	}
+}
+
+// Len returns the number of records.
+func (r *Requests) Len() int { return len(r.Key) }
+
+// Block returns the value block of record i (aliasing the backing array).
+func (r *Requests) Block(i int) []byte {
+	return r.Data[i*r.BlockSize : (i+1)*r.BlockSize]
+}
+
+// OSwap obliviously exchanges records i and j iff c == 1.
+func (r *Requests) OSwap(c uint8, i, j int) {
+	r.Rec.Record(trace.KindSwap, i, j)
+	obliv.CondSwapU8(c, &r.Op[i], &r.Op[j])
+	obliv.CondSwapU64(c, &r.Key[i], &r.Key[j])
+	obliv.CondSwapU32(c, &r.Sub[i], &r.Sub[j])
+	obliv.CondSwapU8(c, &r.Tag[i], &r.Tag[j])
+	obliv.CondSwapU8(c, &r.Aux[i], &r.Aux[j])
+	obliv.CondSwapU64(c, &r.Seq[i], &r.Seq[j])
+	obliv.CondSwapU64(c, &r.Client[i], &r.Client[j])
+	obliv.CondSwapBytes(c, r.Block(i), r.Block(j))
+}
+
+// OCopyRow obliviously sets record dst = record src iff c == 1.
+func (r *Requests) OCopyRow(c uint8, dst, src int) {
+	r.Rec.Record(trace.KindCopyRow, dst, src)
+	obliv.CondSetU8(c, &r.Op[dst], r.Op[src])
+	obliv.CondSetU64(c, &r.Key[dst], r.Key[src])
+	obliv.CondSetU32(c, &r.Sub[dst], r.Sub[src])
+	obliv.CondSetU8(c, &r.Tag[dst], r.Tag[src])
+	obliv.CondSetU8(c, &r.Aux[dst], r.Aux[src])
+	obliv.CondSetU64(c, &r.Seq[dst], r.Seq[src])
+	obliv.CondSetU64(c, &r.Client[dst], r.Client[src])
+	obliv.CondCopyBytes(c, r.Block(dst), r.Block(src))
+}
+
+// OCopyRowFrom obliviously sets record dst of r = record src of o iff c == 1.
+// Both sets must share a block size.
+func (r *Requests) OCopyRowFrom(c uint8, dst int, o *Requests, src int) {
+	if r.BlockSize != o.BlockSize {
+		panic("store: OCopyRowFrom block size mismatch")
+	}
+	r.Rec.Record(trace.KindCopyRow, dst, src)
+	obliv.CondSetU8(c, &r.Op[dst], o.Op[src])
+	obliv.CondSetU64(c, &r.Key[dst], o.Key[src])
+	obliv.CondSetU32(c, &r.Sub[dst], o.Sub[src])
+	obliv.CondSetU8(c, &r.Tag[dst], o.Tag[src])
+	obliv.CondSetU8(c, &r.Aux[dst], o.Aux[src])
+	obliv.CondSetU64(c, &r.Seq[dst], o.Seq[src])
+	obliv.CondSetU64(c, &r.Client[dst], o.Client[src])
+	obliv.CondCopyBytes(c, r.Block(dst), o.Block(src))
+}
+
+// SetRow plainly (non-obliviously) writes record i; used only on data whose
+// position is already public, e.g. ingesting client requests or appending
+// dummies.
+func (r *Requests) SetRow(i int, op uint8, key uint64, sub uint32, seq, client uint64, data []byte) {
+	r.Op[i] = op
+	r.Key[i] = key
+	r.Sub[i] = sub
+	r.Tag[i] = 0
+	r.Aux[i] = 0
+	r.Seq[i] = seq
+	r.Client[i] = client
+	b := r.Block(i)
+	for k := range b {
+		b[k] = 0
+	}
+	copy(b, data)
+}
+
+// CopyRowPlain plainly copies record src of o into record dst of r.
+func (r *Requests) CopyRowPlain(dst int, o *Requests, src int) {
+	r.Op[dst] = o.Op[src]
+	r.Key[dst] = o.Key[src]
+	r.Sub[dst] = o.Sub[src]
+	r.Tag[dst] = o.Tag[src]
+	r.Aux[dst] = o.Aux[src]
+	r.Seq[dst] = o.Seq[src]
+	r.Client[dst] = o.Client[src]
+	copy(r.Block(dst), o.Block(src))
+}
+
+// Touch records a full oblivious read/write pass over record i (used by
+// scan loops that operate on blocks directly).
+func (r *Requests) Touch(i int) { r.Rec.Record(trace.KindTouch, i, 0) }
+
+// View returns a window [lo, hi) of r sharing the same backing arrays.
+// The trace recorder is NOT shared: recorded positions would be ambiguous
+// across windows; scans over views record via the parent.
+func (r *Requests) View(lo, hi int) *Requests {
+	return &Requests{
+		BlockSize: r.BlockSize,
+		Op:        r.Op[lo:hi],
+		Key:       r.Key[lo:hi],
+		Sub:       r.Sub[lo:hi],
+		Tag:       r.Tag[lo:hi],
+		Aux:       r.Aux[lo:hi],
+		Seq:       r.Seq[lo:hi],
+		Client:    r.Client[lo:hi],
+		Data:      r.Data[lo*r.BlockSize : hi*r.BlockSize],
+	}
+}
+
+// Clone returns a deep copy of r.
+func (r *Requests) Clone() *Requests {
+	c := NewRequests(r.Len(), r.BlockSize)
+	c.Rec = r.Rec
+	copy(c.Op, r.Op)
+	copy(c.Key, r.Key)
+	copy(c.Sub, r.Sub)
+	copy(c.Tag, r.Tag)
+	copy(c.Aux, r.Aux)
+	copy(c.Seq, r.Seq)
+	copy(c.Client, r.Client)
+	copy(c.Data, r.Data)
+	return c
+}
+
+// Concat returns a fresh record set holding all records of a then b.
+func Concat(a, b *Requests) *Requests {
+	if a.BlockSize != b.BlockSize {
+		panic("store: Concat block size mismatch")
+	}
+	out := NewRequests(a.Len()+b.Len(), a.BlockSize)
+	for i := 0; i < a.Len(); i++ {
+		out.CopyRowPlain(i, a, i)
+	}
+	for i := 0; i < b.Len(); i++ {
+		out.CopyRowPlain(a.Len()+i, b, i)
+	}
+	return out
+}
+
+// BySubKeyWriteSeq orders records for load-balancer batch construction
+// (paper Fig. 5 step ➌): by subORAM, then key — dummy keys carry the top
+// bit, so dummies sink to the end of each subORAM group while duplicates
+// become adjacent — then writes before reads, then descending sequence.
+// After this sort, the first record of every duplicate run is the
+// last-write-wins representative.
+type BySubKeyWriteSeq struct{ *Requests }
+
+// Greater implements obliv.Sorter.
+func (s BySubKeyWriteSeq) Greater(i, j int) uint8 {
+	r := s.Requests
+	subGt := obliv.GtU64(uint64(r.Sub[i]), uint64(r.Sub[j]))
+	subEq := obliv.EqU64(uint64(r.Sub[i]), uint64(r.Sub[j]))
+	keyGt := obliv.GtU64(r.Key[i], r.Key[j])
+	keyEq := obliv.EqU64(r.Key[i], r.Key[j])
+	// Within a duplicate run: writes (Op=1) first → i after j if Op_i < Op_j.
+	opLt := obliv.LtU64(uint64(r.Op[i]), uint64(r.Op[j]))
+	opEq := obliv.EqU64(uint64(r.Op[i]), uint64(r.Op[j]))
+	seqLt := obliv.LtU64(r.Seq[i], r.Seq[j])
+	inner := obliv.Or(opLt, obliv.And(opEq, seqLt))
+	return obliv.Or(subGt,
+		obliv.And(subEq, obliv.Or(keyGt, obliv.And(keyEq, inner))))
+}
+
+// ByKeyTag orders records for response matching (paper Fig. 6 step ➋): by
+// key, then tag bit — responses (Tag=0) before the client requests (Tag=1)
+// they answer.
+type ByKeyTag struct{ *Requests }
+
+// Greater implements obliv.Sorter.
+func (s ByKeyTag) Greater(i, j int) uint8 {
+	r := s.Requests
+	keyGt := obliv.GtU64(r.Key[i], r.Key[j])
+	keyEq := obliv.EqU64(r.Key[i], r.Key[j])
+	tagGt := obliv.GtU64(uint64(r.Tag[i]), uint64(r.Tag[j]))
+	return obliv.Or(keyGt, obliv.And(keyEq, tagGt))
+}
+
+// BySubKey orders records by (Sub, Key); used by hash-table construction
+// where Sub holds the bucket index and dummy keys must sink within buckets.
+type BySubKey struct{ *Requests }
+
+// Greater implements obliv.Sorter.
+func (s BySubKey) Greater(i, j int) uint8 {
+	r := s.Requests
+	subGt := obliv.GtU64(uint64(r.Sub[i]), uint64(r.Sub[j]))
+	subEq := obliv.EqU64(uint64(r.Sub[i]), uint64(r.Sub[j]))
+	keyGt := obliv.GtU64(r.Key[i], r.Key[j])
+	return obliv.Or(subGt, obliv.And(subEq, keyGt))
+}

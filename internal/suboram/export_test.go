@@ -1,0 +1,10 @@
+package suboram
+
+// Test-only hooks: simulate the untrusted host attacking the sealed
+// external memory (paper §2 integrity threat model).
+
+func (s *SubORAM) corruptSealedBlock(i int) { s.sealed.Corrupt(i) }
+
+func (s *SubORAM) replaySealedBlock(i int, snap []byte) { s.sealed.Replay(i, snap) }
+
+func (s *SubORAM) snapshotSealedBlock(i int) []byte { return s.sealed.Snapshot(i) }

@@ -1,0 +1,388 @@
+// Package suboram implements Snoopy's throughput-optimized subORAM (paper
+// §5, Fig. 7, Fig. 19): an oblivious object store that only supports batched
+// accesses. A batch of distinct requests is turned into an oblivious
+// two-tier hash table; a single linear scan over the stored partition then
+// services every request at once. The amortized per-request cost of the scan
+// beats polylogarithmic ORAMs in the high-throughput regime the system
+// targets.
+//
+// Obliviousness: the scan visits every object in a fixed order and, for each
+// object, reads the two hash-table buckets its identifier maps to under
+// fresh per-batch keys, touching every slot in both buckets with
+// branch-free compare-and-set operations. Request contents influence no
+// access position.
+package suboram
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/obliv"
+	"snoopy/internal/ohash"
+	"snoopy/internal/store"
+	"snoopy/internal/trace"
+)
+
+// Config configures a subORAM.
+type Config struct {
+	// BlockSize is the object value size in bytes.
+	BlockSize int
+	// Hash configures two-tier hash table geometry; zero value means
+	// ohash.DefaultParams.
+	Hash ohash.Params
+	// Workers bounds scan parallelism (paper Fig. 13b). 0 means 1.
+	Workers int
+	// Strict enables a (non-oblivious, debug-only) duplicate-key check on
+	// incoming batches; production deployments rely on the load balancer's
+	// guarantee (paper Definition 2).
+	Strict bool
+	// Sealed stores the partition in enclave-external encrypted memory with
+	// in-enclave digests (paper §7). Slower, but models the real deployment
+	// where the partition exceeds the EPC.
+	Sealed bool
+	// Rec, when non-nil, records the batch access trace. Test-only;
+	// requires Workers == 1.
+	Rec *trace.Recorder
+	// TestHashKeys pins the per-batch hash keys so obliviousness tests can
+	// compare traces across batches. Test-only; production must leave nil.
+	TestHashKeys *[2]crypt.SipKey
+}
+
+// Stats reports where a batch spent its time (paper Fig. 12's "SubORAM
+// (process batch)" component, further broken down).
+type Stats struct {
+	Build   time.Duration // oblivious hash table construction
+	Scan    time.Duration // linear scan over the partition
+	Extract time.Duration // response compaction
+}
+
+// Total returns the end-to-end processing time.
+func (s Stats) Total() time.Duration { return s.Build + s.Scan + s.Extract }
+
+// SubORAM holds one data partition.
+type SubORAM struct {
+	cfg     Config
+	builder *ohash.Builder // scratch reuse across batches (guarded by mu)
+
+	mu     sync.Mutex // serializes batches (paper: fixed batch order)
+	ids    []uint64
+	plain  []byte               // plain mode: n×BlockSize
+	sealed *enclave.SealedStore // sealed mode
+	last   Stats
+}
+
+// New creates an empty subORAM.
+func New(cfg Config) *SubORAM {
+	if cfg.BlockSize <= 0 {
+		panic("suboram: BlockSize must be positive")
+	}
+	if cfg.Hash == (ohash.Params{}) {
+		cfg.Hash = ohash.DefaultParams()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	hp := cfg.Hash
+	hp.Rec = cfg.Rec
+	return &SubORAM{cfg: cfg, builder: ohash.NewBuilder(hp)}
+}
+
+// Init loads the partition: object i has identifier ids[i] and value
+// data[i*BlockSize:(i+1)*BlockSize]. Identifiers must be distinct and below
+// store.DummyKeyBit.
+func (s *SubORAM) Init(ids []uint64, data []byte) error {
+	if len(data) != len(ids)*s.cfg.BlockSize {
+		return fmt.Errorf("suboram: data length %d != %d objects × %d bytes",
+			len(data), len(ids), s.cfg.BlockSize)
+	}
+	seen := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		if id >= store.DummyKeyBit {
+			return fmt.Errorf("suboram: object id %#x in dummy key space", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("suboram: duplicate object id %d", id)
+		}
+		seen[id] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ids = append([]uint64(nil), ids...)
+	if s.cfg.Sealed {
+		st, err := enclave.NewSealedStore(len(ids), s.cfg.BlockSize)
+		if err != nil {
+			return err
+		}
+		for i := range ids {
+			st.Write(i, data[i*s.cfg.BlockSize:(i+1)*s.cfg.BlockSize])
+		}
+		s.sealed = st
+		s.plain = nil
+	} else {
+		s.plain = append([]byte(nil), data...)
+		s.sealed = nil
+	}
+	return nil
+}
+
+// NumObjects returns the partition size.
+func (s *SubORAM) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ids)
+}
+
+// LastStats returns the timing breakdown of the most recent batch.
+func (s *SubORAM) LastStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// BatchAccess processes a batch of requests with distinct keys and returns
+// one response row per request (paper Fig. 19). Read responses carry the
+// object value; write responses carry the pre-write value (§C); requests
+// for absent keys (including load-balancer dummies) come back zeroed with
+// Aux == 0. The input batch is not modified.
+func (s *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if reqs.BlockSize != s.cfg.BlockSize {
+		return nil, fmt.Errorf("suboram: batch block size %d != %d", reqs.BlockSize, s.cfg.BlockSize)
+	}
+	if s.cfg.Strict {
+		seen := make(map[uint64]bool, reqs.Len())
+		for _, k := range reqs.Key {
+			if seen[k] {
+				return nil, fmt.Errorf("suboram: duplicate request key %#x in batch", k)
+			}
+			seen[k] = true
+		}
+	}
+
+	var st Stats
+	t0 := time.Now()
+	var table *ohash.Table
+	var err error
+	if s.cfg.TestHashKeys != nil {
+		hp := s.cfg.Hash
+		hp.Rec = s.cfg.Rec
+		table, err = ohash.BuildWithKeys(reqs, hp, s.cfg.TestHashKeys[0], s.cfg.TestHashKeys[1])
+	} else {
+		table, err = s.builder.Build(reqs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.Build = time.Since(t0)
+
+	t0 = time.Now()
+	if err := s.scan(table); err != nil {
+		return nil, err
+	}
+	// Requests whose key matched no stored object return zeroes.
+	zero := make([]byte, s.cfg.BlockSize)
+	for _, tier := range []*store.Requests{table.Tier1, table.Tier2} {
+		for i := 0; i < tier.Len(); i++ {
+			miss := tier.Tag[i] & obliv.Not(tier.Aux[i])
+			obliv.CondCopyBytes(miss, tier.Block(i), zero)
+		}
+	}
+	st.Scan = time.Since(t0)
+
+	t0 = time.Now()
+	out := table.Extract()
+	st.Extract = time.Since(t0)
+	s.last = st
+	return out, nil
+}
+
+// scan runs the linear pass over the partition, fanning out across workers.
+// Each worker owns a disjoint object range and a private copy of the hash
+// table; copies are obliviously merged by found-bit afterwards, so
+// concurrent workers never race on table slots.
+func (s *SubORAM) scan(table *ohash.Table) error {
+	n := len(s.ids)
+	workers := s.cfg.Workers
+	if workers > n {
+		workers = maxInt(1, n)
+	}
+	if workers <= 1 || n == 0 {
+		return s.scanRange(table, 0, n)
+	}
+
+	copies := make([]*ohash.Table, workers)
+	errs := make([]error, workers)
+	copies[0] = table
+	for w := 1; w < workers; w++ {
+		copies[w] = &ohash.Table{
+			Geom: table.Geom, K1: table.K1, K2: table.K2,
+			Tier1: table.Tier1.Clone(), Tier2: table.Tier2.Clone(),
+		}
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, minInt((w+1)*per, n)
+		if lo >= hi {
+			continue
+		}
+		w, lo, hi := w, lo, hi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[w] = s.scanRange(copies[w], lo, hi)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Merge worker copies back into the primary table: a slot changed only
+	// in the copy whose object range contained the matching key.
+	for w := 1; w < workers; w++ {
+		mergeTier(table.Tier1, copies[w].Tier1)
+		mergeTier(table.Tier2, copies[w].Tier2)
+	}
+	return nil
+}
+
+func mergeTier(dst, src *store.Requests) {
+	for i := 0; i < dst.Len(); i++ {
+		c := src.Aux[i]
+		obliv.CondCopyBytes(c, dst.Block(i), src.Block(i))
+		obliv.CondSetU8(c, &dst.Aux[i], 1)
+	}
+}
+
+// scanRange scans objects [lo, hi) against the table.
+func (s *SubORAM) scanRange(table *ohash.Table, lo, hi int) error {
+	if s.sealed != nil {
+		return s.scanRangeSealed(table, lo, hi)
+	}
+	for i := lo; i < hi; i++ {
+		blk := s.plain[i*s.cfg.BlockSize : (i+1)*s.cfg.BlockSize]
+		s.scanOne(table, i, blk)
+	}
+	return nil
+}
+
+// scanOne applies one object's bucket scans.
+func (s *SubORAM) scanOne(table *ohash.Table, i int, blk []byte) {
+	id := s.ids[i]
+	s.cfg.Rec.Record(trace.KindTouch, i, 0)
+	lo1, hi1, lo2, hi2 := table.Buckets(id)
+	scanBucket(table.Tier1, lo1, hi1, id, blk)
+	scanBucket(table.Tier2, lo2, hi2, id, blk)
+}
+
+// scanRangeSealed implements the paper's §7 paging optimization: a host
+// loader thread streams (decrypts) upcoming blocks into a shared buffer
+// ahead of the scan, and a write-back thread re-seals processed blocks
+// behind it, so the enclave compute loop never stalls on storage. Every
+// block is written back whether or not it changed — ciphertext churn is
+// identical for reads and writes.
+func (s *SubORAM) scanRangeSealed(table *ohash.Table, lo, hi int) error {
+	type item struct {
+		i   int
+		buf []byte
+		err error
+	}
+	const depth = 16
+	free := make(chan []byte, depth)
+	for k := 0; k < depth; k++ {
+		free <- make([]byte, s.cfg.BlockSize)
+	}
+	loaded := make(chan item, depth)
+	go func() { // host loader thread
+		for i := lo; i < hi; i++ {
+			buf := <-free
+			if err := s.sealed.Read(i, buf); err != nil {
+				loaded <- item{err: err}
+				close(loaded)
+				return
+			}
+			loaded <- item{i: i, buf: buf}
+		}
+		close(loaded)
+	}()
+	writeback := make(chan item, depth)
+	wbDone := make(chan struct{})
+	go func() { // write-back thread
+		defer close(wbDone)
+		for it := range writeback {
+			s.sealed.Write(it.i, it.buf)
+			free <- it.buf
+		}
+	}()
+	var firstErr error
+	for it := range loaded {
+		if it.err != nil {
+			if firstErr == nil {
+				firstErr = it.err
+			}
+			continue
+		}
+		if firstErr == nil {
+			s.scanOne(table, it.i, it.buf)
+		}
+		writeback <- it
+	}
+	close(writeback)
+	<-wbDone
+	return firstErr
+}
+
+// scanBucket applies the double oblivious compare-and-set of Fig. 7 step ➋
+// to every slot of one bucket.
+func scanBucket(tier *store.Requests, lo, hi int, id uint64, blk []byte) {
+	for sl := lo; sl < hi; sl++ {
+		tier.Touch(sl)
+		eq := obliv.EqU64(tier.Key[sl], id) & tier.Tag[sl]
+		isW := obliv.EqU8(tier.Op[sl], store.OpWrite)
+		cw := eq & isW
+		cr := eq & obliv.Not(isW)
+		obliv.FusedAccess(cw, cr, blk, tier.Block(sl))
+		obliv.CondSetU8(eq, &tier.Aux[sl], 1)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Export returns a copy of the partition contents (ids and packed data) —
+// the state-migration path used when switching subORAM engines
+// (internal/adaptive) and by replication tooling.
+func (s *SubORAM) Export() (ids []uint64, data []byte, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids = append([]uint64(nil), s.ids...)
+	data = make([]byte, len(s.ids)*s.cfg.BlockSize)
+	if s.sealed != nil {
+		for i := range s.ids {
+			if err := s.sealed.Read(i, data[i*s.cfg.BlockSize:(i+1)*s.cfg.BlockSize]); err != nil {
+				return nil, nil, err
+			}
+		}
+		return ids, data, nil
+	}
+	copy(data, s.plain)
+	return ids, data, nil
+}

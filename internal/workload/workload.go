@@ -1,0 +1,117 @@
+// Package workload generates the request patterns used across the
+// evaluation: uniform and Zipf-skewed key choice, read/write mixes, the
+// key-transparency access pattern of Fig. 9b (log₂ n + 1 dependent lookups
+// per logical operation), and bursty arrival schedules. The paper's
+// security argument makes performance workload-independent for oblivious
+// systems (§8, "the request distribution does not impact their
+// performance"); the generators exist to demonstrate exactly that, and to
+// drive the plaintext baseline where distribution does matter.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KeyChooser picks object keys.
+type KeyChooser func(*rand.Rand) uint64
+
+// Uniform chooses keys uniformly from [0, n).
+func Uniform(n int) KeyChooser {
+	return func(rng *rand.Rand) uint64 { return uint64(rng.Intn(n)) }
+}
+
+// Zipf chooses keys Zipf(s, 1)-distributed over [0, n) — the skewed
+// workload that deduplication defuses (paper §4.1).
+func Zipf(n int, s float64) KeyChooser {
+	return func(rng *rand.Rand) uint64 {
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		return z.Uint64()
+	}
+}
+
+// Hotspot sends fraction p of requests to a single hot key.
+func Hotspot(n int, p float64) KeyChooser {
+	return func(rng *rand.Rand) uint64 {
+		if rng.Float64() < p {
+			return 0
+		}
+		return uint64(rng.Intn(n))
+	}
+}
+
+// Op is a generated request.
+type Op struct {
+	Write bool
+	Key   uint64
+}
+
+// Mix generates ops with the given write fraction over a key chooser.
+func Mix(keys KeyChooser, writeFrac float64) func(*rand.Rand) Op {
+	return func(rng *rand.Rand) Op {
+		return Op{Write: rng.Float64() < writeFrac, Key: keys(rng)}
+	}
+}
+
+// KTAccessesPerLookup returns the number of ORAM accesses one key
+// transparency lookup costs for n users: log₂(n)+1 — Bob's key, the signed
+// root (free), and a Merkle inclusion proof of log₂(n) siblings (paper
+// §8.2: 24 accesses for 5M users... the paper counts log₂(n)+1 = 24 at
+// n = 5M plus the directly-served root).
+func KTAccessesPerLookup(users int) int {
+	if users <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(users)))) + 1
+}
+
+// KTLookup returns the object keys one KT lookup for `user` must fetch
+// when the transparency log's Merkle tree is stored as objects: the leaf
+// plus the proof siblings level by level. Keys are laid out heap-style:
+// level l node i has key offset[l]+i.
+func KTLookup(users int, user uint64) []uint64 {
+	if users <= 1 {
+		return []uint64{0}
+	}
+	levels := int(math.Ceil(math.Log2(float64(users))))
+	keys := make([]uint64, 0, levels+1)
+	keys = append(keys, user) // the leaf: Bob's key record
+	offset := uint64(0)
+	width := uint64(1) << levels
+	idx := user
+	for l := 0; l < levels; l++ {
+		keys = append(keys, offset+(idx^1)) // proof sibling at level l
+		offset += width
+		width >>= 1
+		idx >>= 1
+	}
+	return keys
+}
+
+// Burst describes an arrival schedule: Rate requests/second for Seconds.
+type Burst struct {
+	Rate    float64
+	Seconds float64
+}
+
+// Arrivals expands a schedule into request timestamps (seconds from 0),
+// Poisson-spaced within each burst.
+func Arrivals(rng *rand.Rand, schedule []Burst) []float64 {
+	var ts []float64
+	now := 0.0
+	for _, b := range schedule {
+		end := now + b.Seconds
+		if b.Rate <= 0 {
+			now = end
+			continue
+		}
+		for now < end {
+			now += rng.ExpFloat64() / b.Rate
+			if now < end {
+				ts = append(ts, now)
+			}
+		}
+		now = end
+	}
+	return ts
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniformInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform(100)
+	for i := 0; i < 1000; i++ {
+		if k := u(rng); k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := Zipf(1000, 1.2)
+	counts := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		counts[z(rng)]++
+	}
+	if counts[0] < 1000 {
+		t.Fatalf("Zipf head not hot: key 0 hit %d/10000", counts[0])
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := Hotspot(1000, 0.9)
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		if h(rng) == 0 {
+			hot++
+		}
+	}
+	if hot < 8500 {
+		t.Fatalf("hotspot fraction too low: %d/10000", hot)
+	}
+}
+
+func TestMixWriteFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gen := Mix(Uniform(10), 0.3)
+	writes := 0
+	for i := 0; i < 10000; i++ {
+		if gen(rng).Write {
+			writes++
+		}
+	}
+	if writes < 2500 || writes > 3500 {
+		t.Fatalf("write fraction off: %d/10000", writes)
+	}
+}
+
+func TestKTAccessesPerLookup(t *testing.T) {
+	// Paper §8.2: 5M users ⇒ 24 accesses (log₂(5M)≈22.3 → 23, +1).
+	if got := KTAccessesPerLookup(5_000_000); got != 24 {
+		t.Fatalf("5M users: got %d accesses, paper says 24", got)
+	}
+	if got := KTAccessesPerLookup(1); got != 1 {
+		t.Fatalf("single user: %d", got)
+	}
+}
+
+func TestKTLookupShape(t *testing.T) {
+	const users = 1024
+	keys := KTLookup(users, 37)
+	if len(keys) != KTAccessesPerLookup(users) {
+		t.Fatalf("lookup fetches %d keys, want %d", len(keys), KTAccessesPerLookup(users))
+	}
+	if keys[0] != 37 {
+		t.Fatalf("first key should be the user's leaf, got %d", keys[0])
+	}
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d in lookup", k)
+		}
+		seen[k] = true
+	}
+	// Total key space: 2n-1 tree nodes (approximately; padded to pow2).
+	for _, k := range keys {
+		if k >= 2*uint64(users) {
+			t.Fatalf("key %d beyond tree node space", k)
+		}
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts := Arrivals(rng, []Burst{{Rate: 1000, Seconds: 1}, {Rate: 0, Seconds: 1}, {Rate: 100, Seconds: 1}})
+	if len(ts) < 900 || len(ts) > 1300 {
+		t.Fatalf("arrival count off: %d", len(ts))
+	}
+	prev := 0.0
+	quiet := 0
+	for _, x := range ts {
+		if x < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		if x > 1 && x < 2 {
+			quiet++
+		}
+		prev = x
+	}
+	if quiet != 0 {
+		t.Fatalf("%d arrivals during quiet burst", quiet)
+	}
+	if prev > 3 {
+		t.Fatalf("arrival after schedule end: %f", prev)
+	}
+}

@@ -1,0 +1,266 @@
+// Package snoopy is an oblivious, horizontally scalable object store — a
+// from-scratch Go reproduction of "Snoopy: Surpassing the Scalability
+// Bottleneck of Oblivious Storage" (SOSP 2021).
+//
+// A Store hides *which* objects clients access from everything outside the
+// (modeled) hardware enclaves: requests are collected into epochs,
+// deduplicated and padded into equal-sized batches per data partition by
+// oblivious load balancers, and each partition (subORAM) answers its batch
+// with a single oblivious linear scan. Throughput scales by adding load
+// balancers and subORAMs — there is no central point of coordination.
+//
+// Quick start:
+//
+//	st, _ := snoopy.Open(snoopy.Config{SubORAMs: 4, Epoch: 5 * time.Millisecond})
+//	defer st.Close()
+//	st.Load(map[uint64][]byte{1: []byte("hello"), 2: []byte("world")})
+//	v, ok, _ := st.Read(1)            // oblivious read
+//	prev, _, _ := st.Write(2, []byte("updated"))
+//
+// See examples/ for complete programs, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package snoopy
+
+import (
+	"sort"
+	"time"
+
+	"snoopy/internal/core"
+	"snoopy/internal/enclave"
+	"snoopy/internal/planner"
+	"snoopy/internal/suboram"
+	"snoopy/internal/transport"
+)
+
+// MaxKey is the largest valid object key; larger values are reserved for
+// the system's internal dummy request space.
+const MaxKey = uint64(1)<<63 - 1
+
+// Config configures a deployment. The zero value gives a single-partition,
+// single-load-balancer store with 160-byte objects and manual epochs.
+type Config struct {
+	// BlockSize is the fixed object value size in bytes (default 160, the
+	// paper's object size). Shorter values are zero-padded.
+	BlockSize int
+	// LoadBalancers (L) and SubORAMs (S) size the deployment.
+	LoadBalancers int
+	SubORAMs      int
+	// Lambda is the security parameter in bits for batch sizing (default
+	// 128).
+	Lambda int
+	// Epoch is the batching interval. Zero means epochs run only when
+	// Flush is called.
+	Epoch time.Duration
+	// SubORAMWorkers and SortWorkers bound per-node parallelism.
+	SubORAMWorkers int
+	SortWorkers    int
+	// Sealed keeps partitions in enclave-external authenticated-encrypted
+	// memory (the paper's §7 deployment mode).
+	Sealed bool
+	// Pipeline overlaps epoch stages across epochs (paper §6), raising
+	// sustained throughput when load balancers and subORAMs would
+	// otherwise idle waiting for each other.
+	Pipeline bool
+}
+
+// Store is a running Snoopy deployment.
+type Store struct {
+	sys *core.System
+}
+
+// EpochStats re-exports per-epoch timing (see core.EpochStats).
+type EpochStats = core.EpochStats
+
+// SubORAM is the interface remote partitions implement.
+type SubORAM = core.SubORAMClient
+
+// Open starts an in-process deployment.
+func Open(cfg Config) (*Store, error) {
+	sys, err := core.NewLocal(core.Config{
+		BlockSize:        cfg.BlockSize,
+		NumLoadBalancers: cfg.LoadBalancers,
+		NumSubORAMs:      cfg.SubORAMs,
+		Lambda:           cfg.Lambda,
+		EpochDuration:    cfg.Epoch,
+		SubORAMWorkers:   cfg.SubORAMWorkers,
+		SortWorkers:      cfg.SortWorkers,
+		Sealed:           cfg.Sealed,
+		Pipeline:         cfg.Pipeline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{sys: sys}, nil
+}
+
+// OpenWithSubORAMs starts a deployment over caller-provided partitions —
+// typically transport.RemoteSubORAM handles from DialSubORAM.
+func OpenWithSubORAMs(cfg Config, subs []SubORAM) (*Store, error) {
+	sys, err := core.NewWithSubORAMs(core.Config{
+		BlockSize:        cfg.BlockSize,
+		NumLoadBalancers: cfg.LoadBalancers,
+		Lambda:           cfg.Lambda,
+		EpochDuration:    cfg.Epoch,
+		SortWorkers:      cfg.SortWorkers,
+		Pipeline:         cfg.Pipeline,
+	}, subs)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{sys: sys}, nil
+}
+
+// Load initializes the store's object set (call once, before requests).
+// Keys must be ≤ MaxKey. Iteration order does not matter.
+func (s *Store) Load(objects map[uint64][]byte) error {
+	ids := make([]uint64, 0, len(objects))
+	for id := range objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	block := s.sys.BlockSize()
+	data := make([]byte, len(ids)*block)
+	for i, id := range ids {
+		copy(data[i*block:(i+1)*block], objects[id])
+	}
+	return s.sys.Init(ids, data)
+}
+
+// LoadSlices initializes the store from parallel id/value slices, where
+// data holds len(ids) fixed-size blocks.
+func (s *Store) LoadSlices(ids []uint64, data []byte) error {
+	return s.sys.Init(ids, data)
+}
+
+// Read returns the value stored under key. ok is false if the key was not
+// part of the loaded object set.
+func (s *Store) Read(key uint64) (value []byte, ok bool, err error) {
+	return s.sys.Read(key)
+}
+
+// Write replaces the value under key, returning the value the object had
+// at the start of the write's epoch. Writes to unknown keys are no-ops
+// with ok == false.
+func (s *Store) Write(key uint64, value []byte) (previous []byte, ok bool, err error) {
+	return s.sys.Write(key, value)
+}
+
+// ReadAsync submits without blocking; the returned function waits.
+func (s *Store) ReadAsync(key uint64) (func() ([]byte, bool, error), error) {
+	return s.sys.ReadAsync(key)
+}
+
+// WriteAsync submits without blocking; the returned function waits.
+func (s *Store) WriteAsync(key uint64, value []byte) (func() ([]byte, bool, error), error) {
+	return s.sys.WriteAsync(key, value)
+}
+
+// Flush processes one epoch immediately (useful with Epoch == 0).
+func (s *Store) Flush() { s.sys.Flush() }
+
+// Stats returns the most recent epoch's timing breakdown.
+func (s *Store) Stats() EpochStats { return s.sys.LastEpochStats() }
+
+// TotalDropped returns the cumulative batch-overflow drops (expect 0).
+func (s *Store) TotalDropped() uint64 { return s.sys.TotalDropped() }
+
+// BlockSize returns the configured object size.
+func (s *Store) BlockSize() int { return s.sys.BlockSize() }
+
+// Close stops the deployment; pending requests fail with an error.
+func (s *Store) Close() { s.sys.Close() }
+
+// ---- Remote deployment helpers ----
+
+// Platform is the simulated attestation authority shared by a deployment.
+type Platform = enclave.Platform
+
+// Measurement identifies an enclave program.
+type Measurement = enclave.Measurement
+
+// NewPlatform creates a fresh attestation authority.
+func NewPlatform() *Platform { return enclave.NewPlatform() }
+
+// Measure hashes a program identity.
+func Measure(program string) Measurement { return enclave.Measure(program) }
+
+// DialSubORAM connects to a remote subORAM over an attested, encrypted
+// channel, verifying its measurement.
+func DialSubORAM(addr string, p *Platform, want Measurement) (SubORAM, error) {
+	return transport.Dial(addr, p, want)
+}
+
+// NewLocalSubORAM creates an in-process partition (useful to mix local and
+// remote partitions, or to serve one with ServeSubORAM).
+func NewLocalSubORAM(blockSize, workers int, sealed bool) *suboram.SubORAM {
+	return suboram.New(suboram.Config{BlockSize: blockSize, Workers: workers, Sealed: sealed})
+}
+
+// ---- Planner ----
+
+// Plan is a deployment recommendation (see internal/planner).
+type Plan = planner.Plan
+
+// PlanDeployment runs the paper's §6 planner: it calibrates component
+// costs on this machine, then returns the cheapest (load balancers,
+// subORAMs) configuration that sustains minThroughput requests/second
+// under the average-latency bound for the given data size.
+func PlanDeployment(objects, blockSize int, minThroughput float64, maxLatency time.Duration) (Plan, error) {
+	model := planner.Calibrate(blockSize, 128)
+	return planner.Optimize(planner.Requirements{
+		Objects:       objects,
+		BlockSize:     blockSize,
+		MinThroughput: minThroughput,
+		MaxLatency:    maxLatency,
+	}, model, planner.DefaultPrices())
+}
+
+// ---- Batched client API ----
+
+// Op is one operation in a batch submitted via Do.
+type Op struct {
+	Write bool
+	Key   uint64
+	Value []byte // writes only
+	// User is the ACL principal (0 when access control is disabled).
+	User uint64
+}
+
+// Result is the outcome of one Op: Value is the object's value at the
+// start of the epoch (for writes too, per batch semantics); Found reports
+// whether the key exists and — with ACL enabled — the op was permitted.
+type Result struct {
+	Value []byte
+	Found bool
+	Err   error
+}
+
+// Do submits all ops and waits for their epoch(s) to complete, returning
+// one Result per op in order. Ops land in the same epoch when submitted
+// between flushes, so a Do batch typically completes together.
+func (s *Store) Do(ops []Op) []Result {
+	waits := make([]func() ([]byte, bool, error), len(ops))
+	results := make([]Result, len(ops))
+	for i, op := range ops {
+		var w func() ([]byte, bool, error)
+		var err error
+		if op.Write {
+			w, err = s.sys.WriteAsAsync(op.User, op.Key, op.Value)
+		} else {
+			w, err = s.sys.ReadAsAsync(op.User, op.Key)
+		}
+		if err != nil {
+			results[i] = Result{Err: err}
+			continue
+		}
+		waits[i] = w
+	}
+	for i, w := range waits {
+		if w == nil {
+			continue
+		}
+		v, found, err := w()
+		results[i] = Result{Value: v, Found: found, Err: err}
+	}
+	return results
+}

@@ -1,0 +1,104 @@
+package snoopy_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"snoopy"
+	"snoopy/internal/metrics"
+	"snoopy/internal/workload"
+)
+
+// TestBurstySoak replays a bursty arrival schedule (paper §4.1: "R is not
+// fixed across epochs (requests can be bursty)") against a live pipelined
+// deployment, checking that every request completes correctly, batch
+// sizing absorbs the bursts without drops, and latency stays bounded.
+func TestBurstySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	const objects = 4096
+	st, err := snoopy.Open(snoopy.Config{
+		BlockSize: 32, LoadBalancers: 2, SubORAMs: 3, Lambda: 64,
+		Epoch: 10 * time.Millisecond, Pipeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ids := make([]uint64, objects)
+	data := make([]byte, objects*32)
+	for i := range ids {
+		ids[i] = uint64(i)
+		copy(data[i*32:], fmt.Sprintf("s%d", i))
+	}
+	if err := st.LoadSlices(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	arrivals := workload.Arrivals(rng, []workload.Burst{
+		{Rate: 400, Seconds: 0.5},  // steady
+		{Rate: 2500, Seconds: 0.3}, // burst
+		{Rate: 0, Seconds: 0.2},    // silence
+		{Rate: 800, Seconds: 0.5},  // recovery
+	})
+	gen := workload.Mix(workload.Zipf(objects, 1.2), 0.3)
+
+	var lat metrics.Latencies
+	var wg sync.WaitGroup
+	errs := make(chan error, len(arrivals))
+	start := time.Now()
+	var genMu sync.Mutex
+	for _, at := range arrivals {
+		at := at
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if d := time.Duration(at*1e9) - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			genMu.Lock()
+			op := gen(rng)
+			genMu.Unlock()
+			t0 := time.Now()
+			if op.Write {
+				if _, _, err := st.Write(op.Key, []byte("w")); err != nil {
+					errs <- err
+					return
+				}
+			} else {
+				v, found, err := st.Read(op.Key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !found || !(bytes.HasPrefix(v, []byte("s")) || v[0] == 'w') {
+					errs <- fmt.Errorf("key %d: found=%v bad value %q", op.Key, found, v)
+					return
+				}
+			}
+			lat.Add(time.Since(t0))
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if lat.Count() < len(arrivals)*9/10 {
+		t.Fatalf("only %d/%d requests completed", lat.Count(), len(arrivals))
+	}
+	if st.Stats().Dropped != 0 {
+		t.Fatalf("burst caused %d drops — Theorem 3 sizing failed", st.Stats().Dropped)
+	}
+	// Latency bounded: generous cap (single-core host runs everything).
+	if p99 := lat.Percentile(99); p99 > 5*time.Second {
+		t.Fatalf("p99 latency %v under burst", p99)
+	}
+	t.Logf("soak: %d requests, %s", lat.Count(), lat.String())
+}
