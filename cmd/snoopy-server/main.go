@@ -8,6 +8,16 @@
 //
 // Then point snoopy-client (or snoopy.DialSubORAM) at it with the same
 // platform secret.
+//
+// With -data <dir>, the partition is durable (internal/persist): sealed
+// snapshots plus a sealed write-ahead log live in <dir>, every acknowledged
+// batch is on disk before its response leaves the enclave, and a restarted
+// server — including after kill -9 — recovers the partition and resumes
+// serving without re-initialization. If the host tampered with or rolled
+// back any file in <dir>, startup fails loudly with an integrity error
+// instead of serving corrupt or stale state:
+//
+//	snoopy-server -listen :7001 -block 160 -data /var/lib/snoopy/part0 -platform ...
 package main
 
 import (
@@ -19,11 +29,13 @@ import (
 
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
+	"snoopy/internal/persist"
 	"snoopy/internal/suboram"
 	"snoopy/internal/transport"
 )
 
-// Program is the measurement identity this binary attests to.
+// Program is the enclave identity this binary attests to; clients must
+// expect enclave.Measure(Program).
 const Program = "snoopy-suboram-v1"
 
 func main() {
@@ -31,6 +43,7 @@ func main() {
 	block := flag.Int("block", 160, "object size in bytes")
 	workers := flag.Int("workers", 0, "scan worker threads (0 = 1)")
 	sealed := flag.Bool("sealed", false, "store partition in sealed enclave-external memory")
+	dataDir := flag.String("data", "", "directory for sealed durable state (empty = in-memory only)")
 	platformHex := flag.String("platform", "", "shared platform root key (64 hex chars); empty generates one and prints it")
 	flag.Parse()
 
@@ -48,13 +61,27 @@ func main() {
 	platform := enclave.NewPlatformFromKey(key)
 
 	sub := suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed})
+	var serve transport.Partition = sub
+	if *dataDir != "" {
+		dur, err := persist.NewDurable(*dataDir, sub, persist.Config{BlockSize: *block})
+		if err != nil {
+			log.Fatalf("durable state in %s unusable: %v", *dataDir, err)
+		}
+		if dur.Recovered() {
+			fmt.Printf("recovered partition from %s: %d objects at epoch %d\n",
+				*dataDir, sub.NumObjects(), dur.Epoch())
+		} else {
+			fmt.Printf("durable state in %s (fresh partition)\n", *dataDir)
+		}
+		serve = dur
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("subORAM serving on %s (block=%dB sealed=%v measurement=%q)\n",
 		l.Addr(), *block, *sealed, Program)
-	if err := transport.ServeSubORAM(l, sub, platform, enclave.Measure(Program)); err != nil {
+	if err := transport.ServeSubORAM(l, serve, platform, enclave.Measure(Program)); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -16,11 +16,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"snoopy/internal/crypt"
 	"snoopy/internal/loadbalancer"
+	"snoopy/internal/persist"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
 )
@@ -63,6 +67,18 @@ type Config struct {
 	// Flush then returns once the epoch is *dispatched*; per-request
 	// completion still blocks until its epoch finishes.
 	Pipeline bool
+	// DataDir, when non-empty, makes every local partition durable
+	// (internal/persist): sealed snapshots plus a sealed write-ahead log
+	// under DataDir/part-NNN, the oblivious routing key sealed at
+	// DataDir/route.key, and automatic crash recovery when the directory
+	// already holds state. Only NewLocal honors it; remote partitions
+	// persist on their own hosts (snoopy-server -data).
+	DataDir string
+
+	// routeKey pins the load balancers' partition-assignment key; set by
+	// NewLocal when recovering a durable deployment so recovered objects
+	// stay reachable at their original partitions.
+	routeKey *crypt.Key
 }
 
 func (c *Config) fillDefaults() {
@@ -148,21 +164,87 @@ type System struct {
 	// acl, when set, enforces the Appendix-D access-control matrix via a
 	// recursive Snoopy instance.
 	acl *aclState
+
+	// recovered reports whether any durable partition restored persisted
+	// state at startup (Config.DataDir).
+	recovered bool
+	// owned holds durable partitions NewLocal created, closed with the
+	// system. Caller-provided partitions are never closed here.
+	owned []*persist.Durable
 }
 
-// NewLocal creates a deployment whose subORAMs run in-process.
+// NewLocal creates a deployment whose subORAMs run in-process. With
+// Config.DataDir set, each partition is wrapped for sealed durability and
+// any state already in the directory is recovered before the system starts
+// (no Init needed on reopen).
 func NewLocal(cfg Config) (*System, error) {
 	cfg.fillDefaults()
+	if cfg.DataDir != "" {
+		if err := checkPartitionCount(cfg.DataDir, cfg.NumSubORAMs); err != nil {
+			return nil, err
+		}
+		key, err := persist.LoadOrCreateRoutingKey(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.routeKey = &key
+	}
 	subs := make([]SubORAMClient, cfg.NumSubORAMs)
+	recovered := false
 	for i := range subs {
-		subs[i] = suboram.New(suboram.Config{
+		sub := suboram.New(suboram.Config{
 			BlockSize: cfg.BlockSize,
 			Workers:   cfg.SubORAMWorkers,
 			Strict:    cfg.Strict,
 			Sealed:    cfg.Sealed,
 		})
+		if cfg.DataDir == "" {
+			subs[i] = sub
+			continue
+		}
+		dur, err := persist.NewDurable(
+			filepath.Join(cfg.DataDir, fmt.Sprintf("part-%03d", i)),
+			sub, persist.Config{BlockSize: cfg.BlockSize})
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		recovered = recovered || dur.Recovered()
+		subs[i] = dur
 	}
-	return NewWithSubORAMs(cfg, subs)
+	sys, err := NewWithSubORAMs(cfg, subs)
+	if err != nil {
+		return nil, err
+	}
+	sys.recovered = recovered
+	for _, sub := range subs {
+		if dur, ok := sub.(*persist.Durable); ok {
+			sys.owned = append(sys.owned, dur)
+		}
+	}
+	return sys, nil
+}
+
+// checkPartitionCount rejects reopening a data directory with a different
+// subORAM count: objects would be unreachable at their persisted partitions.
+// A directory with no partitions yet (fresh deployment) passes.
+func checkPartitionCount(dataDir string, want int) error {
+	entries, err := os.ReadDir(dataDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	have := 0
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "part-") {
+			have++
+		}
+	}
+	if have != 0 && have != want {
+		return fmt.Errorf("core: data dir %s holds %d partitions, configured %d", dataDir, have, want)
+	}
+	return nil
 }
 
 // NewWithSubORAMs creates a deployment over caller-provided partitions
@@ -173,9 +255,15 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 		return nil, fmt.Errorf("core: need at least one subORAM")
 	}
 	cfg.NumSubORAMs = len(subs)
-	key, err := crypt.NewKey()
-	if err != nil {
-		return nil, err
+	var key crypt.Key
+	if cfg.routeKey != nil {
+		key = *cfg.routeKey
+	} else {
+		var err error
+		key, err = crypt.NewKey()
+		if err != nil {
+			return nil, err
+		}
 	}
 	sys := &System{
 		cfg:    cfg,
@@ -265,6 +353,9 @@ func (sys *System) Close() {
 		for _, p := range q {
 			p.ch <- result{err: ErrClosed}
 		}
+	}
+	for _, dur := range sys.owned {
+		dur.Close()
 	}
 }
 
@@ -576,6 +667,10 @@ func (sys *System) TotalDropped() uint64 {
 	defer sys.statsMu.Unlock()
 	return sys.totalDrops
 }
+
+// Recovered reports whether the deployment restored partition state from
+// Config.DataDir at startup (in which case Init is not needed).
+func (sys *System) Recovered() bool { return sys.recovered }
 
 // NumSubORAMs returns S.
 func (sys *System) NumSubORAMs() int { return len(sys.subs) }

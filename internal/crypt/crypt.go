@@ -100,6 +100,53 @@ func (s *Sealer) Open(msg, aad []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// RandomSealer performs authenticated encryption with fresh random nonces.
+// It serves sealed *storage* (state that outlives the process), where the
+// Sealer's monotone counter discipline would repeat nonces after a restart:
+// a recovered enclave re-sealing block 0 under counter 1 would collide with
+// the pre-crash seal of block 0. Random 96-bit nonces make collisions
+// negligible regardless of restarts. A RandomSealer is safe for concurrent
+// use.
+type RandomSealer struct {
+	aead cipher.AEAD
+}
+
+// NewRandomSealer builds a RandomSealer for the given key.
+func NewRandomSealer(key Key) (*RandomSealer, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	return &RandomSealer{aead: aead}, nil
+}
+
+// Seal encrypts and authenticates plaintext with the given associated data,
+// returning nonce||ciphertext||tag (Overhead bytes of expansion).
+func (s *RandomSealer) Seal(plaintext, aad []byte) []byte {
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+16)
+	if _, err := rand.Read(out[:NonceSize]); err != nil {
+		panic(fmt.Sprintf("crypt: sampling nonce: %v", err))
+	}
+	return s.aead.Seal(out, out[:NonceSize], plaintext, aad)
+}
+
+// Open authenticates and decrypts a message produced by Seal with the same
+// key and associated data.
+func (s *RandomSealer) Open(msg, aad []byte) ([]byte, error) {
+	if len(msg) < NonceSize {
+		return nil, ErrAuth
+	}
+	pt, err := s.aead.Open(nil, msg[:NonceSize], msg[NonceSize:], aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
 // Hasher is the keyed cryptographic hash H_k of the paper: it maps object
 // identifiers to [range) such that, without the key, the attacker cannot
 // predict or bias assignments (§4.1: "requests are randomly distributed by

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -46,7 +47,9 @@ func (l *Latencies) Mean() time.Duration {
 	return sum / time.Duration(len(l.samples))
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100) by the nearest-rank
+// definition: the smallest sample such that at least p% of samples are ≤ it,
+// i.e. rank ⌈p/100·n⌉. Out-of-range p is clamped.
 func (l *Latencies) Percentile(p float64) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -58,14 +61,14 @@ func (l *Latencies) Percentile(p float64) time.Duration {
 		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
 		l.sorted = true
 	}
-	idx := int(p/100*float64(n)) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= n {
-		idx = n - 1
+	if rank > n {
+		rank = n
 	}
-	return l.samples[idx]
+	return l.samples[rank-1]
 }
 
 // Max returns the largest sample.
@@ -77,19 +80,24 @@ func (l *Latencies) String() string {
 		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(99), l.Max())
 }
 
-// Throughput measures completed operations over a wall-clock window.
+// Throughput measures completed operations over a wall-clock window. The
+// zero value is usable: the window opens at the first Done call.
 type Throughput struct {
 	mu    sync.Mutex
 	start time.Time
 	ops   int64
 }
 
-// NewThroughput starts a measurement window.
+// NewThroughput starts a measurement window immediately.
 func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
 
-// Done records n completed operations.
+// Done records n completed operations, opening the window if it has not
+// started yet.
 func (t *Throughput) Done(n int) {
 	t.mu.Lock()
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
 	t.ops += int64(n)
 	t.mu.Unlock()
 }
@@ -101,10 +109,14 @@ func (t *Throughput) Ops() int64 {
 	return t.ops
 }
 
-// PerSecond returns the sustained rate since the window opened.
+// PerSecond returns the sustained rate since the window opened, or 0 if the
+// window never opened.
 func (t *Throughput) PerSecond() float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.start.IsZero() {
+		return 0
+	}
 	el := time.Since(t.start).Seconds()
 	if el <= 0 {
 		return 0

@@ -33,6 +33,46 @@ func TestLatencies(t *testing.T) {
 	}
 }
 
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		p       float64
+		want    time.Duration
+	}{
+		{"single sample p1", []time.Duration{ms(5)}, 1, ms(5)},
+		{"single sample p50", []time.Duration{ms(5)}, 50, ms(5)},
+		{"single sample p100", []time.Duration{ms(5)}, 100, ms(5)},
+		// Nearest rank over {1,2,3,4}ms: rank = ceil(p/100*4).
+		{"four samples p25", []time.Duration{ms(1), ms(2), ms(3), ms(4)}, 25, ms(1)},
+		{"four samples p26", []time.Duration{ms(1), ms(2), ms(3), ms(4)}, 26, ms(2)},
+		{"four samples p50", []time.Duration{ms(1), ms(2), ms(3), ms(4)}, 50, ms(2)},
+		{"four samples p75", []time.Duration{ms(1), ms(2), ms(3), ms(4)}, 75, ms(3)},
+		{"four samples p99", []time.Duration{ms(1), ms(2), ms(3), ms(4)}, 99, ms(4)},
+		{"four samples p100", []time.Duration{ms(1), ms(2), ms(3), ms(4)}, 100, ms(4)},
+		// The old floor-based index under-read high percentiles on small n:
+		// p99 of 2 samples must be the larger one.
+		{"two samples p99", []time.Duration{ms(1), ms(10)}, 99, ms(10)},
+		{"two samples p50", []time.Duration{ms(1), ms(10)}, 50, ms(1)},
+		{"unsorted input", []time.Duration{ms(9), ms(1), ms(5)}, 100, ms(9)},
+		// Out-of-range p clamps instead of panicking.
+		{"p below range", []time.Duration{ms(1), ms(2)}, -5, ms(1)},
+		{"p above range", []time.Duration{ms(1), ms(2)}, 250, ms(2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l Latencies
+			for _, s := range tc.samples {
+				l.Add(s)
+			}
+			if got := l.Percentile(tc.p); got != tc.want {
+				t.Fatalf("Percentile(%v) of %v = %v, want %v", tc.p, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestLatenciesConcurrent(t *testing.T) {
 	var l Latencies
 	var wg sync.WaitGroup
@@ -60,5 +100,23 @@ func TestThroughput(t *testing.T) {
 	}
 	if th.PerSecond() <= 0 {
 		t.Fatal("rate should be positive")
+	}
+}
+
+func TestThroughputZeroValue(t *testing.T) {
+	var th Throughput
+	if th.PerSecond() != 0 {
+		t.Fatal("unopened window should report 0 rate")
+	}
+	if th.Ops() != 0 {
+		t.Fatal("unopened window should report 0 ops")
+	}
+	th.Done(10)
+	th.Done(5)
+	if th.Ops() != 15 {
+		t.Fatalf("ops = %d, want 15", th.Ops())
+	}
+	if th.PerSecond() <= 0 {
+		t.Fatal("rate should be positive once the window opens")
 	}
 }

@@ -1,0 +1,308 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/replica"
+	"snoopy/internal/store"
+	"snoopy/internal/trace"
+)
+
+// FileCounter satisfies the §9 trusted-counter contract internal/replica
+// defines, so a replica.Group can share a durable partition's counter.
+var _ replica.Counter = (*FileCounter)(nil)
+
+// Partition is the in-process subORAM interface Durable wraps. It is
+// satisfied by *suboram.SubORAM.
+type Partition interface {
+	Init(ids []uint64, data []byte) error
+	BatchAccess(reqs *store.Requests) (*store.Requests, error)
+	Export() (ids []uint64, data []byte, err error)
+}
+
+// restorer is the fast-path state-import hook: partitions that implement it
+// load recovered state without re-running Init's validation (the snapshot
+// was authenticated and was written by this same enclave).
+type restorer interface {
+	Restore(ids []uint64, data []byte) error
+}
+
+// Config tunes a Durable wrapper. The zero value works: every field has a
+// default.
+type Config struct {
+	// BlockSize is the partition's object value size in bytes (default 160,
+	// matching snoopy.Config). Must match the wrapped partition.
+	BlockSize int
+	// ChunkBlocks is the number of objects per sealed snapshot chunk
+	// (default 256). Chunk size — a public parameter — trades sealing
+	// overhead against write granularity.
+	ChunkBlocks int
+	// WALRows is the fixed row count of a sealed WAL record (default 512).
+	// Batches larger than WALRows span multiple records; smaller ones are
+	// padded. Record size is public; row contents are not.
+	WALRows int
+	// SnapshotEvery bounds the epochs between snapshots (default 64):
+	// recovery replays at most SnapshotEvery WAL epochs.
+	SnapshotEvery int
+	// Key overrides the sealing key. When nil, the key is loaded from (or
+	// created at) seal.key in the partition directory — the simulation's
+	// stand-in for the hardware sealing-key derivation.
+	Key *crypt.Key
+	// Rec, when non-nil, records the host-visible I/O trace (offset,
+	// length of every file read/write) for the obliviousness tests.
+	Rec *trace.Recorder
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 160
+	}
+	if c.ChunkBlocks <= 0 {
+		c.ChunkBlocks = 256
+	}
+	if c.WALRows <= 0 {
+		c.WALRows = 512
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 64
+	}
+}
+
+// Durable wraps a partition with sealed, crash-recoverable durability. It
+// implements the same Init/BatchAccess surface as the partition itself
+// (core.SubORAMClient), so it drops into a deployment wherever a plain
+// subORAM does. Every acknowledged batch is on disk — sealed, bound to the
+// trusted epoch counter — before BatchAccess returns.
+type Durable struct {
+	cfg   Config
+	inner Partition
+	d     *dir
+	ctr   *FileCounter
+
+	mu        sync.Mutex
+	wal       *os.File
+	walSize   int64
+	walEpochs int    // complete epochs in the WAL since the last snapshot
+	snapEpoch uint64 // epoch of the on-disk snapshot
+	recovered bool
+}
+
+// NewDurable opens (or creates) the partition directory and wraps inner.
+// When the directory holds state, it is recovered into inner: the snapshot
+// is loaded, the WAL replayed up to the trusted counter, and any
+// unacknowledged tail discarded — so a process killed at any point resumes
+// exactly at its last acknowledged batch. Sealed-state tampering and
+// rollback surface here as enclave.ErrIntegrity / ErrRollback errors.
+func NewDurable(path string, inner Partition, cfg Config) (*Durable, error) {
+	cfg.fillDefaults()
+	d, err := openDir(path, cfg.Key, cfg.Rec)
+	if err != nil {
+		return nil, err
+	}
+	ctr, counterExisted, err := openCounter(d)
+	if err != nil {
+		return nil, err
+	}
+	dur := &Durable{cfg: cfg, inner: inner, d: d, ctr: ctr}
+
+	epoch := ctr.Current()
+	snapEpoch, ids, data, blockSize, err := d.readSnapshot()
+	switch {
+	case err == nil:
+		if blockSize != cfg.BlockSize {
+			return nil, fmt.Errorf("persist: partition sealed with block size %d, configured %d", blockSize, cfg.BlockSize)
+		}
+		if snapEpoch > epoch {
+			return nil, fmt.Errorf("%w (snapshot at epoch %d, counter at %d)", ErrRollback, snapEpoch, epoch)
+		}
+		validLen := int64(0)
+		if snapEpoch < epoch {
+			index := make(map[uint64]int, len(ids))
+			for i, id := range ids {
+				index[id] = i
+			}
+			validLen, err = d.replayWAL(d.file(walFile), snapEpoch, epoch, cfg.WALRows, cfg.BlockSize,
+				func(rows []byte) { applyRows(rows, cfg.BlockSize, index, data) })
+			if err != nil {
+				return nil, err
+			}
+		}
+		if r, ok := inner.(restorer); ok {
+			err = r.Restore(ids, data)
+		} else {
+			err = inner.Init(ids, data)
+		}
+		if err != nil {
+			return nil, err
+		}
+		dur.snapEpoch = snapEpoch
+		dur.walEpochs = int(epoch - snapEpoch)
+		dur.recovered = true
+		if err := dur.openWAL(validLen); err != nil {
+			return nil, err
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// No snapshot: legitimate only for a partition that never completed
+		// an Init — the counter must still be at zero and the WAL empty.
+		if counterExisted && epoch != 0 {
+			return nil, fmt.Errorf("%w (no snapshot, counter at epoch %d)", ErrRollback, epoch)
+		}
+		if st, err := os.Stat(d.file(walFile)); err == nil && st.Size() != 0 {
+			return nil, errCorrupt("write-ahead log present without a snapshot")
+		}
+		if err := dur.openWAL(0); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	return dur, nil
+}
+
+// openWAL opens the append handle, discarding anything past validLen (the
+// torn or unacknowledged tail identified during replay).
+func (dur *Durable) openWAL(validLen int64) error {
+	f, err := os.OpenFile(dur.d.file(walFile), os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return err
+	}
+	dur.wal = f
+	dur.walSize = validLen
+	return nil
+}
+
+// Recovered reports whether the directory held state that was restored into
+// the wrapped partition.
+func (dur *Durable) Recovered() bool {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	return dur.recovered
+}
+
+// Epoch returns the trusted counter: the number of acknowledged batches.
+func (dur *Durable) Epoch() uint64 { return dur.ctr.Current() }
+
+// Counter exposes the partition's trusted monotonic counter for §9
+// replication (replica.NewGroup).
+func (dur *Durable) Counter() *FileCounter { return dur.ctr }
+
+// Init loads the partition and seals the full image as the new snapshot.
+func (dur *Durable) Init(ids []uint64, data []byte) error {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	if err := dur.inner.Init(ids, data); err != nil {
+		return err
+	}
+	return dur.snapshotLocked(ids, data)
+}
+
+// BatchAccess applies one batch and makes it durable before returning: the
+// batch's write effects are sealed into the WAL, the trusted counter
+// advances, and only then is the response released. Periodically (every
+// SnapshotEvery epochs) the pre-batch state is first compacted into a fresh
+// snapshot and the WAL reset, bounding recovery replay.
+func (dur *Durable) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	if reqs.BlockSize != dur.cfg.BlockSize {
+		return nil, fmt.Errorf("persist: batch block size %d != %d", reqs.BlockSize, dur.cfg.BlockSize)
+	}
+	if err := dur.ctr.Err(); err != nil {
+		return nil, fmt.Errorf("persist: epoch counter lost durability: %w", err)
+	}
+	if dur.walEpochs >= dur.cfg.SnapshotEvery {
+		// Snapshot the pre-batch state (all acknowledged epochs). Doing it
+		// before the batch — never after — means a crash between the
+		// snapshot rename and the WAL reset leaves only redundant log
+		// records, not an unacknowledged state image.
+		ids, data, err := dur.inner.Export()
+		if err != nil {
+			return nil, err
+		}
+		if err := dur.snapshotLocked(ids, data); err != nil {
+			return nil, err
+		}
+	}
+	out, err := dur.inner.BatchAccess(reqs)
+	if err != nil {
+		return nil, err
+	}
+	epoch := dur.ctr.Current() + 1
+	if err := dur.d.appendWAL(dur.wal, &dur.walSize, epoch, reqs, dur.cfg.WALRows, dur.cfg.BlockSize); err != nil {
+		return nil, err
+	}
+	if err := dur.wal.Sync(); err != nil {
+		return nil, err
+	}
+	dur.ctr.Increment()
+	if err := dur.ctr.Err(); err != nil {
+		return nil, fmt.Errorf("persist: epoch counter lost durability: %w", err)
+	}
+	dur.walEpochs++
+	return out, nil
+}
+
+// Snapshot forces an immediate snapshot of the current state, resetting the
+// WAL. Used by tests and operational tooling; the steady-state path
+// snapshots automatically every SnapshotEvery epochs.
+func (dur *Durable) Snapshot() error {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	ids, data, err := dur.inner.Export()
+	if err != nil {
+		return err
+	}
+	return dur.snapshotLocked(ids, data)
+}
+
+// snapshotLocked seals the given image at the current epoch and resets the
+// WAL. Caller holds mu.
+func (dur *Durable) snapshotLocked(ids []uint64, data []byte) error {
+	epoch := dur.ctr.Current()
+	if err := dur.d.writeSnapshot(epoch, ids, data, dur.cfg.BlockSize, dur.cfg.ChunkBlocks); err != nil {
+		return err
+	}
+	if err := dur.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := dur.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	dur.d.rec.Record(trace.KindFileWrite, 0, 0) // WAL reset, shape-only event
+	dur.walSize = 0
+	dur.walEpochs = 0
+	dur.snapEpoch = epoch
+	return nil
+}
+
+// Export passes through to the wrapped partition, so a Durable composes
+// anywhere a Partition does (replication, engine migration).
+func (dur *Durable) Export() (ids []uint64, data []byte, err error) {
+	return dur.inner.Export()
+}
+
+// Close releases the WAL handle. State already acknowledged remains
+// recoverable; Close is not required for durability (kill -9 is the normal
+// shutdown model this package is built for).
+func (dur *Durable) Close() error {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	if dur.wal == nil {
+		return nil
+	}
+	err := dur.wal.Close()
+	dur.wal = nil
+	return err
+}

@@ -1,0 +1,260 @@
+// Package persist gives subORAM partitions sealed, crash-recoverable
+// durability: the enclave-external persistent state the paper's deployment
+// model assumes (§2 "Data integrity", §7 sealed paging), stored by the
+// untrusted host but unable to be read, tampered with, or rolled back
+// without detection.
+//
+// A partition's on-disk state is three files plus a sealing key:
+//
+//	seal.key  — stands in for the hardware sealing key (in SGX, derived
+//	            from MRENCLAVE; the host cannot use it). Everything below
+//	            is AES-GCM sealed under it with fresh random nonces.
+//	epoch.ctr — the trusted monotonic epoch counter (the ROTE / SGX
+//	            counter abstraction internal/replica models). Bumped after
+//	            every applied batch, before the batch is acknowledged.
+//	snapshot  — the full partition at some epoch E_s: a sealed header
+//	            (epoch, geometry) followed by equal-sized sealed chunks
+//	            whose AAD binds (epoch, chunk index).
+//	wal       — sealed fixed-size records of the batches applied since the
+//	            snapshot, one or more records per epoch, each padded to a
+//	            fixed row count; the AAD binds (epoch, part, last).
+//
+// Rollback protection: recovery loads the counter (trusted to be monotone —
+// the piece real hardware provides), requires the snapshot's epoch E_s to
+// not exceed it, and replays WAL records for the contiguous epoch range
+// (E_s, E]. A host that serves any stale-but-validly-sealed snapshot or WAL
+// prefix leaves a gap between the replayed state and the counter, and
+// recovery fails with ErrRollback; splicing, reordering, or corrupting
+// records fails AEAD authentication (enclave.ErrIntegrity class). Records
+// past the counter are crash artifacts of an unacknowledged batch and are
+// discarded, so no unacknowledged write ever surfaces after recovery.
+//
+// Obliviousness of the persistence path itself: every file operation's
+// offset and length depend only on public parameters — partition size,
+// block size, batch row count, epoch count. WAL rows are padded to a fixed
+// count and carry every batch row (reads re-keyed into the dummy space
+// branch-free), so the host cannot infer the read/write mix or which
+// objects a batch touched from the I/O shape. internal/trace records the
+// (offset, length) stream and the obliviousness tests assert it is
+// bit-identical across request streams that differ only in contents.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/trace"
+)
+
+// ErrRollback is returned when recovery detects that the host presented
+// stale-but-validly-sealed state: the sealed files authenticate, but they do
+// not reach the epoch the trusted counter requires. It wraps
+// enclave.ErrIntegrity, so errors.Is(err, enclave.ErrIntegrity) holds.
+var ErrRollback = fmt.Errorf("%w: state rolled back behind the trusted epoch counter", enclave.ErrIntegrity)
+
+// errCorrupt wraps a decode failure into the enclave.ErrIntegrity class.
+func errCorrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", enclave.ErrIntegrity, fmt.Sprintf(format, args...))
+}
+
+// File names inside a partition directory.
+const (
+	sealKeyFile  = "seal.key"
+	counterFile  = "epoch.ctr"
+	snapshotFile = "snapshot"
+	walFile      = "wal"
+	routeKeyFile = "route.key"
+)
+
+// maxRecord bounds a single sealed record (64 MiB), so a corrupted length
+// prefix cannot force an unbounded allocation.
+const maxRecord = 64 << 20
+
+// dir is the sealed-file substrate of one partition directory: it frames,
+// seals, and traces every read and write.
+type dir struct {
+	path   string
+	sealer *crypt.RandomSealer
+	rec    *trace.Recorder // host-visible I/O trace hook (tests)
+}
+
+// loadSealKey reads or creates the sealing key file. The file models the
+// hardware sealing-key derivation: a real enclave would re-derive the key
+// from its measurement, never storing it where the host can read it.
+func loadSealKey(path string) (crypt.Key, error) {
+	var key crypt.Key
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if len(raw) != crypt.KeySize {
+			return key, errCorrupt("sealing key file %s has %d bytes, want %d", path, len(raw), crypt.KeySize)
+		}
+		copy(key[:], raw)
+		return key, nil
+	case errors.Is(err, os.ErrNotExist):
+		key, err = crypt.NewKey()
+		if err != nil {
+			return key, err
+		}
+		if err := os.WriteFile(path, key[:], 0o600); err != nil {
+			return key, err
+		}
+		return key, nil
+	default:
+		return key, err
+	}
+}
+
+func openDir(path string, key *crypt.Key, rec *trace.Recorder) (*dir, error) {
+	if err := os.MkdirAll(path, 0o700); err != nil {
+		return nil, err
+	}
+	var k crypt.Key
+	if key != nil {
+		k = *key
+	} else {
+		var err error
+		k, err = loadSealKey(filepath.Join(path, sealKeyFile))
+		if err != nil {
+			return nil, err
+		}
+	}
+	sealer, err := crypt.NewRandomSealer(k)
+	if err != nil {
+		return nil, err
+	}
+	return &dir{path: path, sealer: sealer, rec: rec}, nil
+}
+
+func (d *dir) file(name string) string { return filepath.Join(d.path, name) }
+
+// sealRecord frames one sealed record: u32 body length, then
+// nonce||ciphertext||tag over the plaintext. The AAD is context||aadExtra;
+// aadExtra is *not* stored — the reader re-derives it from its own state
+// (e.g. the snapshot epoch and chunk index), so a record moved to a
+// different position fails authentication.
+func (d *dir) sealRecord(context string, aadExtra, plaintext []byte) []byte {
+	return frame(nil, d.sealer.Seal(plaintext, aad(context, aadExtra)))
+}
+
+// sealPrefixed frames a sealed record that carries a public prefix the
+// reader cannot derive in advance (e.g. a WAL record's epoch). The prefix
+// is stored in the clear but bound through the AAD, so editing it breaks
+// authentication.
+func (d *dir) sealPrefixed(context string, prefix, plaintext []byte) []byte {
+	return frame(prefix, d.sealer.Seal(plaintext, aad(context, prefix)))
+}
+
+func frame(prefix, ct []byte) []byte {
+	rec := make([]byte, 4+len(prefix)+len(ct))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(prefix)+len(ct)))
+	copy(rec[4:], prefix)
+	copy(rec[4+len(prefix):], ct)
+	return rec
+}
+
+func aad(context string, extra []byte) []byte {
+	return append([]byte(context), extra...)
+}
+
+// recordLen returns the framed size of a sealed record with the given
+// prefix and plaintext lengths — a public function of public parameters.
+func recordLen(prefixLen, plaintextLen int) int {
+	return 4 + prefixLen + plaintextLen + crypt.Overhead
+}
+
+// readBody reads one framed record body of the expected public geometry.
+// io.EOF is returned untouched when r is exhausted before the length
+// prefix; any partial read reports io.ErrUnexpectedEOF.
+func readBody(r io.Reader, prefixLen, plaintextLen int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF or io.ErrUnexpectedEOF
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxRecord {
+		return nil, errCorrupt("record of %d bytes exceeds limit", n)
+	}
+	want := recordLen(prefixLen, plaintextLen)
+	if n != want-4 {
+		return nil, errCorrupt("record body of %d bytes, want %d", n, want-4)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return body, nil
+}
+
+// readRecord reads and opens one sealed record whose AAD extra the caller
+// re-derives (see sealRecord).
+func (d *dir) readRecord(r io.Reader, context string, aadExtra []byte, plaintextLen int, offset int64) ([]byte, error) {
+	body, err := readBody(r, 0, plaintextLen)
+	if err != nil {
+		return nil, err
+	}
+	d.rec.Record(trace.KindFileRead, int(offset), 4+len(body))
+	pt, err := d.sealer.Open(body, aad(context, aadExtra))
+	if err != nil {
+		return nil, errCorrupt("record authentication failed")
+	}
+	return pt, nil
+}
+
+// readPrefixed reads and opens one sealed record carrying a stored public
+// prefix (see sealPrefixed), returning prefix and plaintext.
+func (d *dir) readPrefixed(r io.Reader, context string, prefixLen, plaintextLen int, offset int64) (prefix, plaintext []byte, err error) {
+	body, err := readBody(r, prefixLen, plaintextLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.rec.Record(trace.KindFileRead, int(offset), 4+len(body))
+	prefix = body[:prefixLen]
+	plaintext, err = d.sealer.Open(body[prefixLen:], aad(context, prefix))
+	if err != nil {
+		return nil, nil, errCorrupt("record authentication failed")
+	}
+	return prefix, plaintext, nil
+}
+
+// writeFileAtomic writes a whole file via tmp + fsync + rename + dir fsync,
+// so a crash leaves either the old or the new version, never a torn one.
+func (d *dir) writeFileAtomic(name string, content []byte) error {
+	tmp := d.file(name + ".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(content); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.file(name)); err != nil {
+		return err
+	}
+	d.rec.Record(trace.KindFileWrite, 0, len(content))
+	return d.syncDir()
+}
+
+// syncDir flushes the directory entry metadata (renames, creations).
+func (d *dir) syncDir() error {
+	f, err := os.Open(d.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

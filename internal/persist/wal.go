@@ -1,0 +1,176 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+
+	"snoopy/internal/store"
+	"snoopy/internal/trace"
+)
+
+// walContext is the AAD context for WAL records.
+const walContext = "snoopy-persist/wal/v1"
+
+// walPrefixLen is the stored public prefix of a WAL record:
+// epoch u64 | part u32 | last u8. The prefix is in the clear (the reader
+// cannot know the epoch in advance) but bound through the AAD.
+const walPrefixLen = 8 + 4 + 1
+
+func walPrefix(epoch uint64, part uint32, last bool) []byte {
+	buf := make([]byte, walPrefixLen)
+	binary.LittleEndian.PutUint64(buf[0:8], epoch)
+	binary.LittleEndian.PutUint32(buf[8:12], part)
+	if last {
+		buf[12] = 1
+	}
+	return buf
+}
+
+// appendWAL appends the sealed log record(s) for one applied batch. Every
+// record carries exactly walRows rows of (key, value block); a batch larger
+// than walRows spans multiple parts and a smaller one is padded with dummy
+// rows, so record count and size depend only on the public batch length.
+// Read rows are re-keyed into the dummy space branch-free (the host cannot
+// tell reads from writes), and dummy rows are skipped at replay.
+//
+// The caller fsyncs after all parts are written; the epoch is acknowledged
+// only after the trusted counter advances past it.
+func (d *dir) appendWAL(f *os.File, offset *int64, epoch uint64, reqs *store.Requests, walRows, blockSize int) error {
+	rowLen := 8 + blockSize
+	n := reqs.Len()
+	parts := (n + walRows - 1) / walRows
+	if parts == 0 {
+		parts = 1 // an empty batch still logs one (all-dummy) record
+	}
+	rows := make([]byte, walRows*rowLen)
+	for p := 0; p < parts; p++ {
+		for r := 0; r < walRows; r++ {
+			row := rows[r*rowLen : (r+1)*rowLen]
+			i := p*walRows + r
+			if i < n {
+				// A read contributes no state change: flip it into the dummy
+				// key space with arithmetic on the op bit, not a branch, so
+				// the row layout never depends on the secret op.
+				key := reqs.Key[i] | uint64(reqs.Op[i]^store.OpWrite)<<63
+				binary.LittleEndian.PutUint64(row[:8], key)
+				copy(row[8:], reqs.Block(i))
+			} else {
+				binary.LittleEndian.PutUint64(row[:8], store.DummyKeyBit)
+				clear(row[8:])
+			}
+		}
+		rec := d.sealPrefixed(walContext, walPrefix(epoch, uint32(p), p == parts-1), rows)
+		if _, err := f.Write(rec); err != nil {
+			return err
+		}
+		d.rec.Record(trace.KindFileWrite, int(*offset), len(rec))
+		*offset += int64(len(rec))
+	}
+	return nil
+}
+
+// replayWAL validates the log against the snapshot epoch snapEpoch and the
+// trusted counter epoch ctrEpoch, applying the write rows of every epoch in
+// (snapEpoch, ctrEpoch] through apply. Records must form one contiguous,
+// strictly increasing epoch sequence starting at or before snapEpoch+1
+// (records at or before snapEpoch are authenticated, then skipped — they
+// predate the snapshot). Anything after the counter epoch — valid records,
+// torn bytes, or garbage — belongs to a batch that was never acknowledged
+// and is discarded. The returned validLen is the file length up to and
+// including the last acknowledged record; the caller truncates to it before
+// appending.
+func (d *dir) replayWAL(path string, snapEpoch, ctrEpoch uint64, walRows, blockSize int, apply func(rows []byte)) (validLen int64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if snapEpoch == ctrEpoch {
+			return 0, nil
+		}
+		return 0, ErrRollback
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+
+	rowLen := 8 + blockSize
+	recLen := int64(recordLen(walPrefixLen, walRows*rowLen))
+	var offset int64
+	applied := snapEpoch // state is complete through this epoch
+	inEpoch := false     // assembling cur's parts
+	var cur uint64       // epoch currently being assembled (when inEpoch)
+	var prev uint64      // last fully completed epoch
+	var nextPart uint32
+	first := true
+	for applied < ctrEpoch {
+		prefix, rows, err := d.readPrefixed(r, walContext, walPrefixLen, walRows*rowLen, offset)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return 0, ErrRollback // acknowledged epochs are missing from the log
+			}
+			return 0, err
+		}
+		epoch := binary.LittleEndian.Uint64(prefix[0:8])
+		part := binary.LittleEndian.Uint32(prefix[8:12])
+		last := prefix[12] == 1
+		switch {
+		case first:
+			if epoch > snapEpoch+1 {
+				return 0, ErrRollback // gap: epochs before the first record are missing
+			}
+		case inEpoch:
+			if epoch != cur {
+				return 0, errCorrupt("epoch %d interleaved into epoch %d", epoch, cur)
+			}
+		default:
+			if epoch != prev+1 {
+				return 0, errCorrupt("wal epoch sequence broken: %d after %d", epoch, prev)
+			}
+		}
+		if !inEpoch {
+			cur, nextPart = epoch, 0
+		}
+		if part != nextPart {
+			return 0, errCorrupt("epoch %d part %d out of order (want %d)", epoch, part, nextPart)
+		}
+		if epoch > ctrEpoch {
+			// A record past the trusted counter is the crash artifact of an
+			// unacknowledged batch; it and everything after it are discarded.
+			return offset, nil
+		}
+		first = false
+		if epoch > snapEpoch {
+			apply(rows)
+		}
+		offset += recLen
+		if last {
+			prev, inEpoch = epoch, false
+			if epoch > snapEpoch {
+				applied = epoch
+			}
+		} else {
+			inEpoch, nextPart = true, part+1
+		}
+	}
+	return offset, nil
+}
+
+// applyRows folds one WAL record's rows into a partition image: rows whose
+// key is outside the dummy space overwrite the block of the matching
+// object; writes to unknown keys are no-ops (matching batch semantics).
+func applyRows(rows []byte, blockSize int, index map[uint64]int, data []byte) {
+	rowLen := 8 + blockSize
+	for r := 0; r*rowLen < len(rows); r++ {
+		row := rows[r*rowLen : (r+1)*rowLen]
+		key := binary.LittleEndian.Uint64(row[:8])
+		if store.IsDummyKey(key) {
+			continue
+		}
+		if i, ok := index[key]; ok {
+			copy(data[i*blockSize:(i+1)*blockSize], row[8:])
+		}
+	}
+}

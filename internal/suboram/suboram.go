@@ -108,6 +108,10 @@ func (s *SubORAM) Init(ids []uint64, data []byte) error {
 		}
 		seen[id] = true
 	}
+	return s.load(ids, data)
+}
+
+func (s *SubORAM) load(ids []uint64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ids = append([]uint64(nil), ids...)
@@ -365,6 +369,19 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Restore loads the partition from a trusted state image, skipping Init's
+// duplicate/dummy-space validation: the import hook internal/persist uses
+// for crash recovery, where the image was authenticated (sealed by this
+// same enclave) and already validated when first loaded. Behaviour is
+// otherwise identical to Init.
+func (s *SubORAM) Restore(ids []uint64, data []byte) error {
+	if len(data) != len(ids)*s.cfg.BlockSize {
+		return fmt.Errorf("suboram: data length %d != %d objects × %d bytes",
+			len(data), len(ids), s.cfg.BlockSize)
+	}
+	return s.load(ids, data)
 }
 
 // Export returns a copy of the partition contents (ids and packed data) —

@@ -19,6 +19,11 @@ const (
 	KindSwap    uint8 = 1 // conditional swap of rows (i, j)
 	KindCopyRow uint8 = 2 // conditional copy row src → dst
 	KindTouch   uint8 = 3 // full read/write pass over row i
+	// File events record the host-visible I/O of the persistence layer
+	// (internal/persist) as (byte offset, length) pairs: what the untrusted
+	// disk observes must likewise be independent of request contents.
+	KindFileRead  uint8 = 4 // read of (offset, length) from a state file
+	KindFileWrite uint8 = 5 // write of (offset, length) to a state file
 )
 
 // Recorder accumulates an access trace as a running hash (position data

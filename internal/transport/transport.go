@@ -27,7 +27,6 @@ import (
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
 	"snoopy/internal/store"
-	"snoopy/internal/suboram"
 )
 
 // maxFrame bounds a single message (64 MiB) to stop a malicious peer from
@@ -159,10 +158,17 @@ func deriveKeys(secret []byte) (clientToServer, serverToClient crypt.Key) {
 	return crypt.Key(a), crypt.Key(b)
 }
 
+// Partition is the server-side subORAM surface: a plain *suboram.SubORAM
+// or a durability-wrapped one (*persist.Durable).
+type Partition interface {
+	Init(ids []uint64, data []byte) error
+	BatchAccess(reqs *store.Requests) (*store.Requests, error)
+}
+
 // ServeSubORAM accepts connections on l and serves sub until the listener
 // closes. Each connection performs the attested handshake with the given
 // platform and measurement.
-func ServeSubORAM(l net.Listener, sub *suboram.SubORAM, platform *enclave.Platform, m enclave.Measurement) error {
+func ServeSubORAM(l net.Listener, sub Partition, platform *enclave.Platform, m enclave.Measurement) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -182,7 +188,7 @@ func ServeSubORAM(l net.Listener, sub *suboram.SubORAM, platform *enclave.Platfo
 	}
 }
 
-func serveConn(sc *secureConn, sub *suboram.SubORAM) {
+func serveConn(sc *secureConn, sub Partition) {
 	for {
 		m, err := sc.recv()
 		if err != nil {

@@ -1,0 +1,138 @@
+package snoopy_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"snoopy"
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+)
+
+// TestServerSurvivesKill9 builds the real snoopy-server binary, runs it with
+// -data, kills it with SIGKILL mid-deployment, restarts it on the same
+// directory, and verifies the last acknowledged write is still readable —
+// the tentpole durability claim, exercised through the real process
+// boundary. It then tampers with the sealed state and verifies the server
+// refuses to start.
+func TestServerSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := t.TempDir()
+	out, err := exec.Command("go", "build", "-o", filepath.Join(bin, "snoopy-server"), "./cmd/snoopy-server").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build snoopy-server: %v\n%s", err, out)
+	}
+	key := crypt.MustNewKey()
+	platformHex := hex.EncodeToString(key[:])
+	// The library-side platform shares the binary's root key, so attestation
+	// verifies across the process boundary.
+	platform := enclave.NewPlatformFromKey(key)
+	measurement := snoopy.Measure("snoopy-suboram-v1")
+	dataDir := filepath.Join(t.TempDir(), "part0")
+
+	startServer := func(addr string) (*exec.Cmd, *bytes.Buffer) {
+		var log bytes.Buffer
+		srv := exec.Command(filepath.Join(bin, "snoopy-server"),
+			"-listen", addr, "-block", "64", "-platform", platformHex, "-data", dataDir)
+		srv.Stdout = &log
+		srv.Stderr = &log
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return srv, &log
+	}
+	openStore := func(addr string) *snoopy.Store {
+		sub, err := snoopy.DialSubORAM(addr, platform, measurement)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		st, err := snoopy.OpenWithSubORAMs(snoopy.Config{BlockSize: 64, Epoch: 5 * time.Millisecond}, []snoopy.SubORAM{sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv, _ := startServer(addr)
+	waitListening(t, addr)
+
+	st := openStore(addr)
+	objects := map[uint64][]byte{}
+	for id := uint64(1); id <= 100; id++ {
+		objects[id] = []byte(fmt.Sprintf("object-%d-initial", id))
+	}
+	if err := st.Load(objects); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// The acknowledged write the crash must not lose.
+	if _, _, err := st.Write(42, []byte("written-before-crash")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	st.Close()
+
+	// kill -9: no shutdown path runs.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+
+	addr2 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv2, log2 := startServer(addr2)
+	defer func() { srv2.Process.Kill(); srv2.Wait() }()
+	waitListening(t, addr2)
+
+	st2 := openStore(addr2)
+	got, ok, err := st2.Read(42)
+	if err != nil || !ok {
+		t.Fatalf("Read(42) after restart: ok=%v err=%v", ok, err)
+	}
+	if want := "written-before-crash"; !bytes.HasPrefix(got, []byte(want)) {
+		t.Fatalf("Read(42) = %q, want prefix %q", got, want)
+	}
+	got, ok, err = st2.Read(7)
+	if err != nil || !ok || !bytes.HasPrefix(got, []byte("object-7-initial")) {
+		t.Fatalf("Read(7) after restart = %q ok=%v err=%v", got, ok, err)
+	}
+	st2.Close()
+	if !bytes.Contains(log2.Bytes(), []byte("recovered partition")) {
+		t.Fatalf("restarted server did not report recovery:\n%s", log2.String())
+	}
+
+	// Tampering any sealed file must make the next start fail loudly.
+	srv2.Process.Kill()
+	srv2.Wait()
+	snapPath := filepath.Join(dataDir, "snapshot")
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x80
+	if err := os.WriteFile(snapPath, b, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	addr3 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv3, log3 := startServer(addr3)
+	done := make(chan error, 1)
+	go func() { done <- srv3.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("server started on tampered state:\n%s", log3.String())
+		}
+	case <-time.After(10 * time.Second):
+		srv3.Process.Kill()
+		t.Fatalf("server did not exit on tampered state:\n%s", log3.String())
+	}
+	if !bytes.Contains(log3.Bytes(), []byte("unusable")) {
+		t.Fatalf("tampered-state failure not reported:\n%s", log3.String())
+	}
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Pre-commit check: vet the whole module, then race-test the subsystems with
+# the trickiest concurrency/durability surface (persistence, replication,
+# transport). The full suite is `go test ./...`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/persist/... ./internal/replica/... ./internal/transport/...
+echo "check.sh: OK"

@@ -61,6 +61,18 @@ type Config struct {
 	// sustained throughput when load balancers and subORAMs would
 	// otherwise idle waiting for each other.
 	Pipeline bool
+	// DataDir, when non-empty, makes the deployment durable: every
+	// partition keeps sealed snapshots and a sealed write-ahead log under
+	// this directory (internal/persist), every acknowledged write is on
+	// disk before its epoch completes, and Open recovers the store
+	// automatically when the directory already holds state — after a crash
+	// (kill -9 included) reopen with the same DataDir and skip Load; see
+	// Recovered. The host sees only fixed-shape authenticated ciphertext;
+	// tampering or rollback of any state file makes Open fail with an
+	// integrity error. Only local partitions persist here — remote
+	// subORAMs (OpenWithSubORAMs) persist on their own hosts via
+	// `snoopy-server -data`.
+	DataDir string
 }
 
 // Store is a running Snoopy deployment.
@@ -86,6 +98,7 @@ func Open(cfg Config) (*Store, error) {
 		SortWorkers:      cfg.SortWorkers,
 		Sealed:           cfg.Sealed,
 		Pipeline:         cfg.Pipeline,
+		DataDir:          cfg.DataDir,
 	})
 	if err != nil {
 		return nil, err
@@ -163,6 +176,11 @@ func (s *Store) Stats() EpochStats { return s.sys.LastEpochStats() }
 
 // TotalDropped returns the cumulative batch-overflow drops (expect 0).
 func (s *Store) TotalDropped() uint64 { return s.sys.TotalDropped() }
+
+// Recovered reports whether Open restored partition state from
+// Config.DataDir. A recovered store is ready to serve requests without
+// Load; calling Load anyway replaces the recovered object set.
+func (s *Store) Recovered() bool { return s.sys.Recovered() }
 
 // BlockSize returns the configured object size.
 func (s *Store) BlockSize() int { return s.sys.BlockSize() }
