@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"snoopy"
+	"snoopy/internal/arena"
 	"snoopy/internal/batch"
 	"snoopy/internal/crypt"
 	"snoopy/internal/loadbalancer"
@@ -25,6 +26,7 @@ import (
 	"snoopy/internal/ringoram"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
+	"snoopy/internal/wirecode"
 )
 
 const benchBlock = 160 // the paper's object size
@@ -127,9 +129,11 @@ func BenchmarkLoadBalancerMakeBatch(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := lb.MakeBatches(reqs); err != nil {
+				batches, err := lb.MakeBatches(reqs)
+				if err != nil {
 					b.Fatal(err)
 				}
+				batches.Release()
 			}
 		})
 	}
@@ -150,9 +154,42 @@ func BenchmarkLoadBalancerMatchResponses(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lb.MatchResponses(batches.All, reqs); err != nil {
+		matched, err := lb.MatchResponses(batches.All, reqs)
+		if err != nil {
 			b.Fatal(err)
 		}
+		arena.Default.PutRequests(matched)
+	}
+}
+
+// BenchmarkWireCodec measures the fixed-layout batch codec against the gob
+// path it replaced: encode into a reused buffer, decode into pooled storage.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 10, 1 << 12} {
+		reqs := store.NewRequests(n, benchBlock)
+		for i := 0; i < n; i++ {
+			reqs.SetRow(i, store.OpRead, uint64(i*13+1), 0, uint64(i), uint64(i), nil)
+		}
+		b.Run(fmt.Sprintf("encode/n=%d", n), func(b *testing.B) {
+			buf := make([]byte, 0, wirecode.FrameLen(n, benchBlock))
+			b.SetBytes(int64(wirecode.FrameLen(n, benchBlock)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = wirecode.AppendRequests(buf[:0], reqs)
+			}
+		})
+		b.Run(fmt.Sprintf("decode/n=%d", n), func(b *testing.B) {
+			frame := wirecode.AppendRequests(nil, reqs)
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := wirecode.DecodeRequests(frame, arena.Default)
+				if err != nil {
+					b.Fatal(err)
+				}
+				arena.Default.PutRequests(out)
+			}
+		})
 	}
 }
 

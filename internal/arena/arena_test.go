@@ -1,0 +1,144 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+
+	"snoopy/internal/store"
+)
+
+func TestClassRows(t *testing.T) {
+	cases := map[int]int{0: 16, 1: 16, 16: 16, 17: 32, 32: 32, 33: 64, 1000: 1024}
+	for n, want := range cases {
+		if got := classRows(n); got != want {
+			t.Errorf("classRows(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGetRequestsZeroedAndSized(t *testing.T) {
+	p := NewPool()
+	r := p.GetRequests(10, 8)
+	if r.Len() != 10 || r.BlockSize != 8 {
+		t.Fatalf("got %d rows block %d", r.Len(), r.BlockSize)
+	}
+	// Dirty it, release, reacquire: must come back zeroed.
+	for i := 0; i < r.Len(); i++ {
+		r.Key[i] = 99
+		r.Data[i*8] = 7
+	}
+	p.PutRequests(r)
+	r2 := p.GetRequests(10, 8)
+	if r2 != r {
+		t.Fatal("same-class Get did not reuse the released set")
+	}
+	for i := 0; i < r2.Len(); i++ {
+		if r2.Key[i] != 0 || r2.Data[i*8] != 0 {
+			t.Fatal("reacquired set not zeroed")
+		}
+	}
+}
+
+func TestPutForeignSizeDropped(t *testing.T) {
+	p := NewPool()
+	// A hand-made Requests whose capacity is not a size class is dropped,
+	// not retained (and must not panic).
+	r := store.NewRequests(10, 8)
+	p.PutRequests(r)
+	if st := p.Stats(); st.Dropped != 1 {
+		t.Fatalf("foreign-sized put not dropped: %+v", st)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	r := p.GetRequests(16, 8)
+	p.PutRequests(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.PutRequests(r)
+}
+
+func TestBitsAndBlocksRoundTrip(t *testing.T) {
+	p := NewPool()
+	b := p.GetBits(20)
+	if len(b) != 20 {
+		t.Fatalf("bits length %d", len(b))
+	}
+	b[3] = 1
+	p.PutBits(b)
+	b2 := p.GetBits(20)
+	if b2[3] != 0 {
+		t.Fatal("reacquired bits not zeroed")
+	}
+	blk := p.GetBlock(100)
+	if len(blk) != 100 {
+		t.Fatalf("block length %d", len(blk))
+	}
+	blk[0] = 9
+	p.PutBlock(blk)
+	if blk2 := p.GetBlock(100); blk2[0] != 0 {
+		t.Fatal("reacquired block not zeroed")
+	}
+}
+
+func TestRecorderDetachedOnPut(t *testing.T) {
+	p := NewPool()
+	r := p.GetRequests(16, 8)
+	r.Rec = nil // explicit: Put must clear any recorder
+	p.PutRequests(r)
+	r2 := p.GetRequests(16, 8)
+	if r2.Rec != nil {
+		t.Fatal("recorder leaked through the pool")
+	}
+}
+
+// TestSteadyStateZeroAllocs: a warmed pool serves Get/Put cycles without
+// heap allocation.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	p := NewPool()
+	p.PutRequests(p.GetRequests(100, 16))
+	allocs := testing.AllocsPerRun(100, func() {
+		r := p.GetRequests(100, 16)
+		p.PutRequests(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Get/Put allocated %.1f times per run", allocs)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := p.GetRequests(64, 8)
+				b := p.GetBits(64)
+				p.PutBits(b)
+				p.PutRequests(r)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMaxPerClassBounded(t *testing.T) {
+	p := NewPool()
+	var rs []*store.Requests
+	for i := 0; i < maxPerClass+10; i++ {
+		rs = append(rs, store.NewRequests(minClassRows, 8))
+	}
+	for _, r := range rs {
+		p.PutRequests(r)
+	}
+	st := p.Stats()
+	if st.Dropped != 10 {
+		t.Fatalf("expected 10 drops past maxPerClass, got %d", st.Dropped)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"snoopy/internal/arena"
 	"snoopy/internal/crypt"
 	"snoopy/internal/loadbalancer"
 	"snoopy/internal/persist"
@@ -432,12 +433,17 @@ func (sys *System) WriteAsync(key uint64, value []byte) (func() ([]byte, bool, e
 	return func() ([]byte, bool, error) { r := <-ch; return r.value, r.found, r.err }, nil
 }
 
-// lbEpoch is one load balancer's stage-A output for an epoch.
+// lbEpoch is one load balancer's stage-A output for an epoch. perSub and
+// dropped are copied out of the Batches so that stage B can release the
+// batch storage to the arena as soon as the subORAMs are done with it,
+// while stage C still has the numbers for stats.
 type lbEpoch struct {
 	reqs    *store.Requests
 	batches *loadbalancer.Batches
 	err     error
 	wall    time.Duration
+	perSub  int
+	dropped int
 }
 
 // epochJob carries one epoch through the processing stages.
@@ -499,12 +505,16 @@ func (sys *System) stageA() *epochJob {
 			defer wg.Done()
 			t := time.Now()
 			q := job.queues[i]
-			reqs := store.NewRequests(len(q), sys.cfg.BlockSize)
+			reqs := arena.Default.GetRequests(len(q), sys.cfg.BlockSize)
 			for j, p := range q {
 				reqs.SetRow(j, p.op, p.key, 0, uint64(j), uint64(j), p.data)
 			}
 			b, err := sys.lbs[i].lb.MakeBatches(reqs)
-			job.eps[i] = lbEpoch{reqs: reqs, batches: b, err: err, wall: time.Since(t)}
+			ep := lbEpoch{reqs: reqs, batches: b, err: err, wall: time.Since(t)}
+			if b != nil {
+				ep.perSub, ep.dropped = b.PerSub, b.Dropped
+			}
+			job.eps[i] = ep
 		}()
 	}
 	wg.Wait()
@@ -545,6 +555,14 @@ func (sys *System) stageB(job *epochJob) {
 		}()
 	}
 	wg.Wait()
+	// Every subORAM is done with its views of the batch storage: return it
+	// to the arena now, before stage C (possibly overlapping the next
+	// epoch's stage B in pipelined mode) runs. Stage C reads the copied
+	// perSub/dropped fields, never the Batches.
+	for i := range job.eps {
+		job.eps[i].batches.Release()
+		job.eps[i].batches = nil
+	}
 }
 
 // stageC matches responses, replies to clients, and records stats. Safe to
@@ -561,6 +579,16 @@ func (sys *System) stageC(job *epochJob) {
 			defer wg.Done()
 			t := time.Now()
 			defer func() { matchWall[i] = time.Since(t) }()
+			// Whatever path this epoch takes, its pooled request snapshot
+			// and subORAM responses go back to the arena at the end.
+			defer func() {
+				arena.Default.PutRequests(job.eps[i].reqs)
+				job.eps[i].reqs = nil
+				for s := 0; s < S; s++ {
+					arena.Default.PutRequests(job.responses[i][s])
+					job.responses[i][s] = nil
+				}
+			}()
 			q := job.queues[i]
 			if len(q) == 0 {
 				return
@@ -582,11 +610,18 @@ func (sys *System) stageC(job *epochJob) {
 				fail(err)
 				return
 			}
-			all := job.responses[i][0]
-			for s := 1; s < S; s++ {
-				all = store.Concat(all, job.responses[i][s])
+			total := 0
+			for s := 0; s < S; s++ {
+				total += job.responses[i][s].Len()
+			}
+			all := arena.Default.GetRequests(total, sys.cfg.BlockSize)
+			off := 0
+			for s := 0; s < S; s++ {
+				all.CopyRowsPlain(off, job.responses[i][s])
+				off += job.responses[i][s].Len()
 			}
 			matched, err := sys.lbs[i].lb.MatchResponses(all, job.eps[i].reqs)
+			arena.Default.PutRequests(all)
 			if err != nil {
 				fail(err)
 				return
@@ -600,6 +635,7 @@ func (sys *System) stageC(job *epochJob) {
 				}
 				p.ch <- result{value: val, found: found == 1}
 			}
+			arena.Default.PutRequests(matched)
 		}()
 	}
 	wg.Wait()
@@ -608,11 +644,11 @@ func (sys *System) stageC(job *epochJob) {
 	st := EpochStats{Epoch: job.id, Wall: time.Since(job.t0)}
 	for i := range sys.lbs {
 		st.Requests += len(job.queues[i])
-		if job.eps[i].batches != nil {
-			if job.eps[i].batches.PerSub > st.BatchSize {
-				st.BatchSize = job.eps[i].batches.PerSub
+		if job.eps[i].err == nil {
+			if job.eps[i].perSub > st.BatchSize {
+				st.BatchSize = job.eps[i].perSub
 			}
-			st.Dropped += job.eps[i].batches.Dropped
+			st.Dropped += job.eps[i].dropped
 		}
 		lbStats := sys.lbs[i].lb.LastStats()
 		if lbStats.MakeBatch > st.MakeBatch {

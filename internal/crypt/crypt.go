@@ -79,21 +79,33 @@ func NewSealer(key Key, channel uint32) (*Sealer, error) {
 // Seal encrypts and authenticates plaintext with the given associated data,
 // returning nonce||ciphertext||tag. Each call consumes a fresh nonce.
 func (s *Sealer) Seal(plaintext, aad []byte) []byte {
+	return s.SealAppend(nil, plaintext, aad)
+}
+
+// SealAppend is Seal appending to dst (which may share no storage with
+// plaintext), so a steady-state sender can reuse one frame buffer per
+// channel instead of allocating per message.
+func (s *Sealer) SealAppend(dst, plaintext, aad []byte) []byte {
 	var nonce [NonceSize]byte
 	binary.LittleEndian.PutUint32(nonce[0:4], s.channel)
 	binary.LittleEndian.PutUint64(nonce[4:12], s.counter.Add(1))
-	out := make([]byte, NonceSize, NonceSize+len(plaintext)+16)
-	copy(out, nonce[:])
-	return s.aead.Seal(out, nonce[:], plaintext, aad)
+	dst = append(dst, nonce[:]...)
+	return s.aead.Seal(dst, nonce[:], plaintext, aad)
 }
 
 // Open authenticates and decrypts a message produced by Seal with the same
 // key and associated data.
 func (s *Sealer) Open(msg, aad []byte) ([]byte, error) {
+	return s.OpenAppend(nil, msg, aad)
+}
+
+// OpenAppend is Open appending the plaintext to dst (which may share no
+// storage with msg), the receive-side counterpart of SealAppend.
+func (s *Sealer) OpenAppend(dst, msg, aad []byte) ([]byte, error) {
 	if len(msg) < NonceSize {
 		return nil, ErrAuth
 	}
-	pt, err := s.aead.Open(nil, msg[:NonceSize], msg[NonceSize:], aad)
+	pt, err := s.aead.Open(dst, msg[:NonceSize], msg[NonceSize:], aad)
 	if err != nil {
 		return nil, ErrAuth
 	}
@@ -151,20 +163,30 @@ func (s *RandomSealer) Open(msg, aad []byte) ([]byte, error) {
 // identifiers to [range) such that, without the key, the attacker cannot
 // predict or bias assignments (§4.1: "requests are randomly distributed by
 // using a keyed hash function where the attacker does not know the key").
+//
+// The PRF is SipHash-2-4 under a key derived from the 256-bit secret (the
+// same PRF the hash-table bucket assignment uses). It is stateless and
+// allocation-free: Sum64 sits on the per-request path of every epoch
+// (object→subORAM assignment), where the previous HMAC-SHA256 construction
+// spent more time allocating MAC state than hashing.
 type Hasher struct {
-	key Key
+	k SipKey
 }
 
 // NewHasher builds a keyed hasher.
-func NewHasher(key Key) *Hasher { return &Hasher{key: key} }
+func NewHasher(key Key) *Hasher {
+	// Domain-separate from direct uses of the key: hash the key through
+	// SHA-256 with a context label before truncating to the SipHash key.
+	d := sha256.Sum256(append([]byte("snoopy-hasher/v1|"), key[:]...))
+	return &Hasher{k: SipKey{
+		binary.LittleEndian.Uint64(d[0:8]),
+		binary.LittleEndian.Uint64(d[8:16]),
+	}}
+}
 
 // Sum64 returns the full 64-bit keyed hash of id.
 func (h *Hasher) Sum64(id uint64) uint64 {
-	mac := hmac.New(sha256.New, h.key[:])
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], id)
-	mac.Write(buf[:])
-	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8])
+	return SipHash(h.k, id)
 }
 
 // Bucket maps id to a bucket index in [0, n). n must be positive.

@@ -1,20 +1,45 @@
 package crypt
 
-import "encoding/binary"
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync"
+)
 
 // SipKey is a 128-bit key for SipHash-2-4.
 type SipKey [2]uint64
 
-// NewSipKey derives a SipHash key from 16 random bytes.
+// sipEntropy buffers CSPRNG output for SipKey sampling. A fresh pair of
+// keys is drawn for every batch (paper §5), which puts key sampling on the
+// steady-state epoch path; reading the kernel CSPRNG in 4 KiB gulps into a
+// fixed global buffer keeps that path allocation-free (crypto/rand.Read
+// forces its destination to escape) and amortizes the syscall.
+var sipEntropy struct {
+	mu  sync.Mutex
+	buf [4096]byte
+	off int // bytes consumed; starts "empty" via init below
+}
+
+func init() { sipEntropy.off = len(sipEntropy.buf) }
+
+// NewSipKey samples a SipHash key from 16 buffered CSPRNG bytes.
 func NewSipKey() (SipKey, error) {
-	k, err := NewKey()
-	if err != nil {
-		return SipKey{}, err
+	e := &sipEntropy
+	e.mu.Lock()
+	if e.off+16 > len(e.buf) {
+		if _, err := rand.Read(e.buf[:]); err != nil {
+			e.mu.Unlock()
+			return SipKey{}, err
+		}
+		e.off = 0
 	}
-	return SipKey{
-		binary.LittleEndian.Uint64(k[0:8]),
-		binary.LittleEndian.Uint64(k[8:16]),
-	}, nil
+	k := SipKey{
+		binary.LittleEndian.Uint64(e.buf[e.off : e.off+8]),
+		binary.LittleEndian.Uint64(e.buf[e.off+8 : e.off+16]),
+	}
+	e.off += 16
+	e.mu.Unlock()
+	return k, nil
 }
 
 // MustNewSipKey panics on entropy failure.

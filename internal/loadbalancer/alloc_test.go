@@ -1,0 +1,77 @@
+package loadbalancer
+
+import (
+	"math/rand"
+	"testing"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/crypt"
+	"snoopy/internal/store"
+)
+
+// TestMakeBatchesZeroAllocSteadyState is the tentpole guard: with a warm
+// arena, building an epoch's batches performs zero heap allocations.
+// SortWorkers is pinned to 1 — parallel sort spawns goroutines, which
+// allocate by nature and are outside the data-plane guarantee.
+func TestMakeBatchesZeroAllocSteadyState(t *testing.T) {
+	pool := arena.NewPool()
+	lb := New(Config{BlockSize: 32, NumSubORAMs: 4, Lambda: 64, SortWorkers: 1, Pool: pool}, crypt.MustNewKey())
+
+	rng := rand.New(rand.NewSource(50))
+	reqs := store.NewRequests(256, 32)
+	for i := 0; i < reqs.Len(); i++ {
+		reqs.SetRow(i, store.OpRead, rng.Uint64()%1000, 0, uint64(i), uint64(i), nil)
+	}
+
+	// Warm the pool: one full cycle populates every size class involved.
+	b, err := lb.MakeBatches(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		b, err := lb.MakeBatches(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm MakeBatches allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestMatchResponsesZeroAllocSteadyState: the response-matching half of the
+// epoch is equally allocation-free once warm.
+func TestMatchResponsesZeroAllocSteadyState(t *testing.T) {
+	pool := arena.NewPool()
+	lb := New(Config{BlockSize: 32, NumSubORAMs: 2, Lambda: 64, SortWorkers: 1, Pool: pool}, crypt.MustNewKey())
+
+	reqs := store.NewRequests(64, 32)
+	for i := 0; i < reqs.Len(); i++ {
+		reqs.SetRow(i, store.OpRead, uint64(i), 0, uint64(i), uint64(i), nil)
+	}
+	responses := store.NewRequests(128, 32)
+	for i := 0; i < responses.Len(); i++ {
+		responses.SetRow(i, store.OpRead, uint64(i), 0, 0, 0, nil)
+		responses.Aux[i] = 1
+	}
+
+	m, err := lb.MatchResponses(responses, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PutRequests(m)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		m, err := lb.MatchResponses(responses, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.PutRequests(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm MatchResponses allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"snoopy/internal/arena"
 	"snoopy/internal/batch"
 	"snoopy/internal/crypt"
 	"snoopy/internal/obliv"
@@ -35,6 +36,9 @@ type Config struct {
 	// Rec, when non-nil, records epoch access traces. Test-only; requires
 	// SortWorkers == 1.
 	Rec *trace.Recorder
+	// Pool supplies per-epoch working memory (batch scratch, matched
+	// responses). Nil means arena.Default.
+	Pool *arena.Pool
 }
 
 // Stats records where an epoch's load-balancer time went (the "Load
@@ -69,6 +73,14 @@ func New(cfg Config, key crypt.Key) *LoadBalancer {
 	return &LoadBalancer{cfg: cfg, hasher: crypt.NewHasher(key)}
 }
 
+// pool returns the configured arena, defaulting to the process-wide one.
+func (lb *LoadBalancer) pool() *arena.Pool {
+	if lb.cfg.Pool != nil {
+		return lb.cfg.Pool
+	}
+	return arena.Default
+}
+
 // SubORAMFor returns the partition that stores id.
 func (lb *LoadBalancer) SubORAMFor(id uint64) int {
 	return int(lb.hasher.Bucket(id, lb.cfg.NumSubORAMs))
@@ -97,7 +109,9 @@ func (lb *LoadBalancer) Partition(ids []uint64, data []byte) (partIDs [][]uint64
 }
 
 // Batches is the output of MakeBatches: S equal batches laid out
-// subORAM-major in one record set.
+// subORAM-major in one record set. Its storage is drawn from the load
+// balancer's arena; call Release when the epoch is done with it (optional —
+// an unreleased Batches is simply garbage collected).
 type Batches struct {
 	All *store.Requests // NumSubORAMs × PerSub rows
 	// PerSub is the per-subORAM batch size α = f(R,S).
@@ -105,11 +119,27 @@ type Batches struct {
 	// Dropped counts distinct real requests that exceeded a batch — the
 	// negligible-probability overflow event of Theorem 3.
 	Dropped int
+
+	pool *arena.Pool
 }
+
+// batchesPool recycles the Batches structs themselves.
+var batchesPool = sync.Pool{New: func() any { return new(Batches) }}
 
 // For returns the batch destined for subORAM s (a view, not a copy).
 func (b *Batches) For(s int) *store.Requests {
 	return b.All.View(s*b.PerSub, (s+1)*b.PerSub)
+}
+
+// Release returns the batch storage (and the struct) to the arena. The
+// Batches and every view obtained from For are invalid afterwards.
+func (b *Batches) Release() {
+	if b == nil || b.All == nil {
+		return
+	}
+	b.pool.PutRequests(b.All)
+	*b = Batches{}
+	batchesPool.Put(b)
 }
 
 // MakeBatches obliviously builds the per-subORAM batches for one epoch from
@@ -118,11 +148,6 @@ func (b *Batches) For(s int) *store.Requests {
 // to its routing cookie. reqs is not modified; duplicates are allowed.
 func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	t0 := time.Now()
-	defer func() {
-		lb.statsMu.Lock()
-		lb.last.MakeBatch = time.Since(t0)
-		lb.statsMu.Unlock()
-	}()
 
 	if reqs.BlockSize != lb.cfg.BlockSize {
 		return nil, fmt.Errorf("loadbalancer: block size %d != %d", reqs.BlockSize, lb.cfg.BlockSize)
@@ -135,7 +160,8 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	}
 
 	// ➊ Assign each request to its subORAM; ➋ append α dummies per subORAM.
-	work := store.NewRequests(n+alpha*s, lb.cfg.BlockSize)
+	pool := lb.pool()
+	work := pool.GetRequests(n+alpha*s, lb.cfg.BlockSize)
 	work.Rec = lb.cfg.Rec
 	for i := 0; i < n; i++ {
 		work.CopyRowPlain(i, reqs, i)
@@ -156,7 +182,7 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	obliv.SortAdaptive(store.BySubKeyWriteSeq{Requests: work}, lb.cfg.SortWorkers)
 
 	// ➍ Keep the first α distinct keys per subORAM, branch-free.
-	keep := make([]uint8, work.Len())
+	keep := pool.GetBits(work.Len())
 	dropped := 0
 	var distinct uint64
 	prevSub := ^uint64(0)
@@ -177,8 +203,16 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 		prevSub, prevKey = sub, key
 	}
 	obliv.Compact(work, keep)
+	pool.PutBits(keep)
+	work.Resize(alpha * s)
 
-	return &Batches{All: work.View(0, alpha*s).Clone(), PerSub: alpha, Dropped: dropped}, nil
+	b := batchesPool.Get().(*Batches)
+	*b = Batches{All: work, PerSub: alpha, Dropped: dropped, pool: pool}
+
+	lb.statsMu.Lock()
+	lb.last.MakeBatch = time.Since(t0)
+	lb.statsMu.Unlock()
+	return b, nil
 }
 
 // MatchResponses obliviously propagates subORAM responses to the original
@@ -186,20 +220,19 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 // concatenation of every subORAM's response batch; reqs is the epoch's
 // original request list (duplicates included). The result has one row per
 // original request — same Key, Op, Seq, and Client cookie, with Data (and
-// the Aux found bit) carrying the response — in unspecified order.
+// the Aux found bit) carrying the response — in unspecified order. Its
+// storage is drawn from the arena; the caller owns it and may release it.
 func (lb *LoadBalancer) MatchResponses(responses, reqs *store.Requests) (*store.Requests, error) {
 	t0 := time.Now()
-	defer func() {
-		lb.statsMu.Lock()
-		lb.last.Match = time.Since(t0)
-		lb.statsMu.Unlock()
-	}()
 
 	if responses.BlockSize != lb.cfg.BlockSize || reqs.BlockSize != lb.cfg.BlockSize {
 		return nil, fmt.Errorf("loadbalancer: block size mismatch")
 	}
 	// ➊ Merge: responses tagged 0, requests tagged 1.
-	x := store.Concat(responses, reqs)
+	pool := lb.pool()
+	x := pool.GetRequests(responses.Len()+reqs.Len(), lb.cfg.BlockSize)
+	x.CopyRowsPlain(0, responses)
+	x.CopyRowsPlain(responses.Len(), reqs)
 	x.Rec = lb.cfg.Rec
 	for i := 0; i < responses.Len(); i++ {
 		x.Tag[i] = 0
@@ -214,7 +247,7 @@ func (lb *LoadBalancer) MatchResponses(responses, reqs *store.Requests) (*store.
 	// ➌ Propagate response data to the request rows that follow it.
 	prevKey := ^uint64(0)
 	var prevFound uint8
-	prevData := make([]byte, lb.cfg.BlockSize)
+	prevData := pool.GetBlock(lb.cfg.BlockSize)
 	for i := 0; i < x.Len(); i++ {
 		x.Touch(i)
 		isResp := obliv.Not(x.Tag[i])
@@ -226,11 +259,19 @@ func (lb *LoadBalancer) MatchResponses(responses, reqs *store.Requests) (*store.
 		obliv.CondSetU8(match, &x.Aux[i], prevFound)
 	}
 
+	pool.PutBlock(prevData)
+
 	// ➍ Compact out the response rows, leaving the answered requests.
-	marks := make([]uint8, x.Len())
+	marks := pool.GetBits(x.Len())
 	copy(marks, x.Tag)
 	obliv.Compact(x, marks)
-	return x.View(0, reqs.Len()).Clone(), nil
+	pool.PutBits(marks)
+	x.Resize(reqs.Len())
+
+	lb.statsMu.Lock()
+	lb.last.Match = time.Since(t0)
+	lb.statsMu.Unlock()
+	return x, nil
 }
 
 // LastStats returns the timing breakdown of the most recent epoch.

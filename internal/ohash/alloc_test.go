@@ -1,0 +1,63 @@
+package ohash
+
+import (
+	"math/rand"
+	"testing"
+
+	"snoopy/internal/arena"
+)
+
+// TestBuilderBuildZeroAllocSteadyState is the tentpole guard for the hash
+// table: once the Builder's scratch, tiers, and the arena are warm, a
+// steady-state Build performs zero heap allocations.
+func TestBuilderBuildZeroAllocSteadyState(t *testing.T) {
+	pool := arena.NewPool()
+	p := DefaultParams()
+	p.Pool = pool
+	b := NewBuilder(p)
+
+	rng := rand.New(rand.NewSource(51))
+	reqs := makeBatch(rng, 512, 32)
+
+	if _, err := b.Build(reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := b.Build(reqs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Builder.Build allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBuildExtractCycleZeroAllocSteadyState extends the guard through
+// Extract — the full per-batch subORAM table lifecycle.
+func TestBuildExtractCycleZeroAllocSteadyState(t *testing.T) {
+	pool := arena.NewPool()
+	p := DefaultParams()
+	p.Pool = pool
+	b := NewBuilder(p)
+
+	rng := rand.New(rand.NewSource(52))
+	reqs := makeBatch(rng, 256, 16)
+
+	tbl, err := b.Build(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PutRequests(tbl.Extract())
+
+	allocs := testing.AllocsPerRun(50, func() {
+		tbl, err := b.Build(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.PutRequests(tbl.Extract())
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Build+Extract allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -5,11 +5,18 @@ import (
 	"snoopy/internal/store"
 )
 
-// Builder amortizes the table-construction scratch memory across batches:
-// a subORAM processes one batch per load balancer per epoch forever, and
-// per-batch allocation of the multi-megabyte work arrays dominates GC
-// pressure at high epoch rates. A Builder is NOT safe for concurrent use;
-// give each goroutine its own.
+// Builder amortizes the table-construction memory across batches: a subORAM
+// processes one batch per load balancer per epoch forever, and per-batch
+// allocation of the multi-megabyte work arrays dominates GC pressure at high
+// epoch rates. The Builder reuses everything — scratch arrays, the tier
+// storage, and the Table struct itself — so a steady-state Build performs
+// zero heap allocations once warmed up.
+//
+// Ownership contract: the Table returned by Build (including its tiers) is
+// INVALIDATED by the next Build call. The caller must finish with it —
+// including Extract, whose output is independently pooled — before building
+// again. A Builder is NOT safe for concurrent use; give each goroutine its
+// own.
 type Builder struct {
 	p Params
 
@@ -19,12 +26,18 @@ type Builder struct {
 	keep  []uint8
 	over  []uint8
 	keep2 []uint8
+
+	tier1 *store.Requests
+	tier2 *store.Requests
+	tbl   Table
 }
 
 // NewBuilder creates a Builder with the given geometry parameters.
 func NewBuilder(p Params) *Builder {
 	if p.Z1 == 0 {
+		rec, pool := p.Rec, p.Pool
 		p = DefaultParams()
+		p.Rec, p.Pool = rec, pool
 	}
 	return &Builder{p: p}
 }
@@ -38,19 +51,7 @@ func ensure(buf **store.Requests, n, block int) *store.Requests {
 		*buf = b
 		return b
 	}
-	// Reset in place.
-	for i := range b.Op {
-		b.Op[i] = 0
-		b.Key[i] = 0
-		b.Sub[i] = 0
-		b.Tag[i] = 0
-		b.Aux[i] = 0
-		b.Seq[i] = 0
-		b.Client[i] = 0
-	}
-	for i := range b.Data {
-		b.Data[i] = 0
-	}
+	b.Reset()
 	return b
 }
 
@@ -59,16 +60,13 @@ func ensureBits(buf *[]uint8, n int) []uint8 {
 		*buf = make([]uint8, n)
 	}
 	b := (*buf)[:n]
-	for i := range b {
-		b[i] = 0
-	}
+	clear(b)
 	return b
 }
 
 // Build constructs a table like the package-level Build but reusing the
-// Builder's scratch buffers. The returned Table owns fresh tier storage
-// (it outlives the next Build call); only intermediate work arrays are
-// recycled.
+// Builder's scratch buffers, tier storage, and Table struct. The returned
+// table is valid only until the next Build call.
 func (b *Builder) Build(reqs *store.Requests) (*Table, error) {
 	return b.buildWithKeys(reqs, crypt.MustNewSipKey(), crypt.MustNewSipKey())
 }
@@ -79,7 +77,10 @@ func (b *Builder) buildWithKeys(reqs *store.Requests, k1, k2 crypt.SipKey) (*Tab
 		return nil, errEmptyBatch
 	}
 	g := b.p.GeometryFor(n)
-	t := &Table{Geom: g, K1: k1, K2: k2}
+	b.tbl = Table{Geom: g, K1: k1, K2: k2, pool: b.p.pool()}
+	t := &b.tbl
+	t.Tier1 = ensure(&b.tier1, g.B1*g.Z1, reqs.BlockSize)
+	t.Tier2 = ensure(&b.tier2, g.B2*g.Z2, reqs.BlockSize)
 
 	work := ensure(&b.work, n+g.B1*g.Z1, reqs.BlockSize)
 	work.Rec = b.p.Rec

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"snoopy/internal/arena"
 	"snoopy/internal/batch"
 	"snoopy/internal/crypt"
 	"snoopy/internal/obliv"
@@ -46,6 +47,17 @@ type Params struct {
 	Lambda int
 	// Rec, when non-nil, records construction access traces (test-only).
 	Rec *trace.Recorder
+	// Pool supplies the working memory for table extraction (and, via
+	// Builder, scan-worker table copies). Nil means arena.Default.
+	Pool *arena.Pool
+}
+
+// pool returns the configured arena, defaulting to the process-wide one.
+func (p Params) pool() *arena.Pool {
+	if p.Pool != nil {
+		return p.Pool
+	}
+	return arena.Default
 }
 
 // DefaultParams mirrors the deployment defaults: tier-1 buckets of 8 at mean
@@ -90,6 +102,9 @@ type Table struct {
 	K2    crypt.SipKey
 	Tier1 *store.Requests // Geom.B1 × Geom.Z1 rows, bucket-major
 	Tier2 *store.Requests // Geom.B2 × Geom.Z2 rows, bucket-major
+
+	// pool backs Extract's output (arena.Default when zero).
+	pool *arena.Pool
 }
 
 // Build obliviously constructs a table from a batch of requests with
@@ -110,7 +125,9 @@ func BuildWithKeys(reqs *store.Requests, p Params, k1, k2 crypt.SipKey) (*Table,
 		return nil, errEmptyBatch
 	}
 	g := p.GeometryFor(n)
-	t := &Table{Geom: g, K1: k1, K2: k2}
+	t := &Table{Geom: g, K1: k1, K2: k2, pool: p.pool()}
+	t.Tier1 = store.NewRequests(g.B1*g.Z1, reqs.BlockSize)
+	t.Tier2 = store.NewRequests(g.B2*g.Z2, reqs.BlockSize)
 	work := store.NewRequests(n+g.B1*g.Z1, reqs.BlockSize)
 	work.Rec = p.Rec
 	spill := store.NewRequests(work.Len(), reqs.BlockSize)
@@ -127,8 +144,8 @@ func BuildWithKeys(reqs *store.Requests, p Params, k1, k2 crypt.SipKey) (*Table,
 var errEmptyBatch = fmt.Errorf("ohash: empty batch")
 
 // buildInto runs the oblivious construction using caller-provided scratch
-// arrays (zeroed, correctly sized — see Builder), filling t's tiers with
-// freshly allocated storage the table owns.
+// arrays (zeroed, correctly sized — see Builder) and caller-provided tier
+// storage (t.Tier1/t.Tier2 pre-sized to the geometry; contents overwritten).
 func buildInto(t *Table, reqs *store.Requests, p Params,
 	work, spill, work2 *store.Requests, keep, over, keep2 []uint8) error {
 	g := t.Geom
@@ -157,7 +174,7 @@ func buildInto(t *Table, reqs *store.Requests, p Params,
 
 	copyColumns(spill, work)
 	obliv.Compact(work, keep)
-	t.Tier1 = work.View(0, g.B1*g.Z1).Clone()
+	t.Tier1.CopyPrefix(work)
 	t.Tier1.Rec = p.Rec
 
 	// ---- Tier 2 ----
@@ -207,7 +224,7 @@ func buildInto(t *Table, reqs *store.Requests, p Params,
 		return fmt.Errorf("%w: tier-2 bucket exceeded by %d", ErrOverflow, lost)
 	}
 	obliv.Compact(work2, keep2)
-	t.Tier2 = work2.View(0, g.B2*g.Z2).Clone()
+	t.Tier2.CopyPrefix(work2)
 	t.Tier2.Rec = p.Rec
 	return nil
 }
@@ -237,14 +254,24 @@ func (t *Table) Buckets(id uint64) (lo1, hi1, lo2, hi2 int) {
 
 // Extract obliviously compacts the occupied slots of both tiers to recover
 // exactly n rows — the batch requests, now carrying whatever responses the
-// subORAM scan deposited in them. The table is consumed.
+// subORAM scan deposited in them. The table is consumed. The result is drawn
+// from the table's arena pool; the caller owns it and may release it.
 func (t *Table) Extract() *store.Requests {
-	all := store.Concat(t.Tier1, t.Tier2)
+	pool := t.pool
+	if pool == nil {
+		pool = arena.Default
+	}
+	n1, n2 := t.Tier1.Len(), t.Tier2.Len()
+	all := pool.GetRequests(n1+n2, t.Tier1.BlockSize)
+	all.CopyRowsPlain(0, t.Tier1)
+	all.CopyRowsPlain(n1, t.Tier2)
 	all.Rec = t.Tier1.Rec
-	marks := make([]uint8, all.Len())
+	marks := pool.GetBits(n1 + n2)
 	copy(marks, all.Tag)
 	obliv.Compact(all, marks)
-	return all.View(0, t.Geom.N).Clone()
+	pool.PutBits(marks)
+	all.Resize(t.Geom.N)
+	return all
 }
 
 // markRuns sets keep[i] = 1 iff the rank of row i within its run of equal

@@ -273,9 +273,10 @@ func TestBuilderMatchesBuild(t *testing.T) {
 	}
 }
 
-// TestBuilderTablesIndependent: tables from successive Builds must not
-// alias each other's storage.
-func TestBuilderTablesIndependent(t *testing.T) {
+// TestBuilderExtractSurvivesRebuild: a Builder's table storage is reused by
+// the next Build (that is the zero-allocation contract), but the Extract
+// result is independently pooled — it must stay intact across later Builds.
+func TestBuilderExtractSurvivesRebuild(t *testing.T) {
 	rng := rand.New(rand.NewSource(28))
 	b := NewBuilder(DefaultParams())
 	reqs1 := makeBatch(rng, 100, 8)
@@ -283,14 +284,25 @@ func TestBuilderTablesIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snapshot := append([]uint64(nil), t1.Tier1.Key...)
+	out := t1.Extract()
+	snapshot := append([]uint64(nil), out.Key...)
 	reqs2 := makeBatch(rng, 100, 8)
 	if _, err := b.Build(reqs2); err != nil {
 		t.Fatal(err)
 	}
 	for i, k := range snapshot {
-		if t1.Tier1.Key[i] != k {
-			t.Fatal("second Build mutated the first table")
+		if out.Key[i] != k {
+			t.Fatal("second Build mutated the first extracted batch")
+		}
+	}
+	// The extracted rows are exactly the original batch keys.
+	want := make(map[uint64]bool, reqs1.Len())
+	for i := 0; i < reqs1.Len(); i++ {
+		want[reqs1.Key[i]] = true
+	}
+	for i := 0; i < out.Len(); i++ {
+		if !want[out.Key[i]] {
+			t.Fatalf("extracted key %d not in original batch", out.Key[i])
 		}
 	}
 }

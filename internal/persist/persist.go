@@ -82,6 +82,10 @@ type dir struct {
 	path   string
 	sealer *crypt.RandomSealer
 	rec    *trace.Recorder // host-visible I/O trace hook (tests)
+
+	// walRowsBuf is the reusable row-staging buffer for appendWAL; callers
+	// of appendWAL are serialized (Durable.mu), so one buffer suffices.
+	walRowsBuf []byte
 }
 
 // loadSealKey reads or creates the sealing key file. The file models the

@@ -9,6 +9,7 @@ import (
 
 	"snoopy/internal/store"
 	"snoopy/internal/trace"
+	"snoopy/internal/wirecode"
 )
 
 // walContext is the AAD context for WAL records.
@@ -19,33 +20,39 @@ const walContext = "snoopy-persist/wal/v1"
 // cannot know the epoch in advance) but bound through the AAD.
 const walPrefixLen = 8 + 4 + 1
 
-func walPrefix(epoch uint64, part uint32, last bool) []byte {
-	buf := make([]byte, walPrefixLen)
+func putWALPrefix(buf []byte, epoch uint64, part uint32, last bool) {
 	binary.LittleEndian.PutUint64(buf[0:8], epoch)
 	binary.LittleEndian.PutUint32(buf[8:12], part)
+	buf[12] = 0
 	if last {
 		buf[12] = 1
 	}
-	return buf
 }
 
 // appendWAL appends the sealed log record(s) for one applied batch. Every
-// record carries exactly walRows rows of (key, value block); a batch larger
-// than walRows spans multiple parts and a smaller one is padded with dummy
-// rows, so record count and size depend only on the public batch length.
-// Read rows are re-keyed into the dummy space branch-free (the host cannot
-// tell reads from writes), and dummy rows are skipped at replay.
+// record carries exactly walRows rows in the wirecode key/value row shape
+// (the same per-record layout the wire codec uses, so durable and wire
+// representations cannot drift); a batch larger than walRows spans multiple
+// parts and a smaller one is padded with dummy rows, so record count and
+// size depend only on the public batch length. Read rows are re-keyed into
+// the dummy space branch-free (the host cannot tell reads from writes), and
+// dummy rows are skipped at replay. The row-staging buffer is reused across
+// batches.
 //
 // The caller fsyncs after all parts are written; the epoch is acknowledged
 // only after the trusted counter advances past it.
 func (d *dir) appendWAL(f *os.File, offset *int64, epoch uint64, reqs *store.Requests, walRows, blockSize int) error {
-	rowLen := 8 + blockSize
+	rowLen := wirecode.KVRowLen(blockSize)
 	n := reqs.Len()
 	parts := (n + walRows - 1) / walRows
 	if parts == 0 {
 		parts = 1 // an empty batch still logs one (all-dummy) record
 	}
-	rows := make([]byte, walRows*rowLen)
+	if cap(d.walRowsBuf) < walRows*rowLen {
+		d.walRowsBuf = make([]byte, walRows*rowLen)
+	}
+	rows := d.walRowsBuf[:walRows*rowLen]
+	var prefix [walPrefixLen]byte
 	for p := 0; p < parts; p++ {
 		for r := 0; r < walRows; r++ {
 			row := rows[r*rowLen : (r+1)*rowLen]
@@ -55,14 +62,13 @@ func (d *dir) appendWAL(f *os.File, offset *int64, epoch uint64, reqs *store.Req
 				// key space with arithmetic on the op bit, not a branch, so
 				// the row layout never depends on the secret op.
 				key := reqs.Key[i] | uint64(reqs.Op[i]^store.OpWrite)<<63
-				binary.LittleEndian.PutUint64(row[:8], key)
-				copy(row[8:], reqs.Block(i))
+				wirecode.PutKVRow(row, key, reqs.Block(i))
 			} else {
-				binary.LittleEndian.PutUint64(row[:8], store.DummyKeyBit)
-				clear(row[8:])
+				wirecode.PutKVRow(row, store.DummyKeyBit, nil)
 			}
 		}
-		rec := d.sealPrefixed(walContext, walPrefix(epoch, uint32(p), p == parts-1), rows)
+		putWALPrefix(prefix[:], epoch, uint32(p), p == parts-1)
+		rec := d.sealPrefixed(walContext, prefix[:], rows)
 		if _, err := f.Write(rec); err != nil {
 			return err
 		}
@@ -96,7 +102,7 @@ func (d *dir) replayWAL(path string, snapEpoch, ctrEpoch uint64, walRows, blockS
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
 
-	rowLen := 8 + blockSize
+	rowLen := wirecode.KVRowLen(blockSize)
 	recLen := int64(recordLen(walPrefixLen, walRows*rowLen))
 	var offset int64
 	applied := snapEpoch // state is complete through this epoch
@@ -162,15 +168,15 @@ func (d *dir) replayWAL(path string, snapEpoch, ctrEpoch uint64, walRows, blockS
 // key is outside the dummy space overwrite the block of the matching
 // object; writes to unknown keys are no-ops (matching batch semantics).
 func applyRows(rows []byte, blockSize int, index map[uint64]int, data []byte) {
-	rowLen := 8 + blockSize
+	rowLen := wirecode.KVRowLen(blockSize)
 	for r := 0; r*rowLen < len(rows); r++ {
 		row := rows[r*rowLen : (r+1)*rowLen]
-		key := binary.LittleEndian.Uint64(row[:8])
+		key := wirecode.KVRowKey(row)
 		if store.IsDummyKey(key) {
 			continue
 		}
 		if i, ok := index[key]; ok {
-			copy(data[i*blockSize:(i+1)*blockSize], row[8:])
+			copy(data[i*blockSize:(i+1)*blockSize], wirecode.KVRowValue(row))
 		}
 	}
 }

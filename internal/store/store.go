@@ -86,6 +86,107 @@ func NewRequests(n, blockSize int) *Requests {
 // Len returns the number of records.
 func (r *Requests) Len() int { return len(r.Key) }
 
+// Cap returns the record capacity of the backing arrays: the largest n that
+// Resize accepts. For a set built by NewRequests it equals Len.
+func (r *Requests) Cap() int {
+	c := cap(r.Key)
+	if k := cap(r.Op); k < c {
+		c = k
+	}
+	if k := cap(r.Sub); k < c {
+		c = k
+	}
+	if k := cap(r.Tag); k < c {
+		c = k
+	}
+	if k := cap(r.Aux); k < c {
+		c = k
+	}
+	if k := cap(r.Seq); k < c {
+		c = k
+	}
+	if k := cap(r.Client); k < c {
+		c = k
+	}
+	if k := cap(r.Data) / r.BlockSize; k < c {
+		c = k
+	}
+	return c
+}
+
+// Resize reslices r to n records without copying or zeroing; records beyond
+// the previous length expose stale contents (callers that need zeroed
+// records follow with Reset). n must not exceed Cap. Views taken before a
+// Resize keep aliasing the backing arrays.
+func (r *Requests) Resize(n int) {
+	if n < 0 || n > r.Cap() {
+		panic(fmt.Sprintf("store: Resize(%d) outside capacity %d", n, r.Cap()))
+	}
+	r.Op = r.Op[:n]
+	r.Key = r.Key[:n]
+	r.Sub = r.Sub[:n]
+	r.Tag = r.Tag[:n]
+	r.Aux = r.Aux[:n]
+	r.Seq = r.Seq[:n]
+	r.Client = r.Client[:n]
+	r.Data = r.Data[:n*r.BlockSize]
+}
+
+// Reset zeroes every record in place (length unchanged): all records become
+// dummy reads of key 0, the same state NewRequests establishes.
+func (r *Requests) Reset() {
+	clear(r.Op)
+	clear(r.Key)
+	clear(r.Sub)
+	clear(r.Tag)
+	clear(r.Aux)
+	clear(r.Seq)
+	clear(r.Client)
+	clear(r.Data)
+}
+
+// CopyRowsPlain plainly copies all records of src into r starting at record
+// off. r must have room (off + src.Len() <= r.Len()) and share src's block
+// size. It is the bulk, allocation-free counterpart of Concat.
+func (r *Requests) CopyRowsPlain(off int, src *Requests) {
+	if r.BlockSize != src.BlockSize {
+		panic("store: CopyRowsPlain block size mismatch")
+	}
+	if off < 0 || off+src.Len() > r.Len() {
+		panic(fmt.Sprintf("store: CopyRowsPlain [%d,%d) outside %d records",
+			off, off+src.Len(), r.Len()))
+	}
+	copy(r.Op[off:], src.Op)
+	copy(r.Key[off:], src.Key)
+	copy(r.Sub[off:], src.Sub)
+	copy(r.Tag[off:], src.Tag)
+	copy(r.Aux[off:], src.Aux)
+	copy(r.Seq[off:], src.Seq)
+	copy(r.Client[off:], src.Client)
+	copy(r.Data[off*r.BlockSize:], src.Data)
+}
+
+// CopyPrefix plainly copies the first r.Len() records of src into r (src
+// must be at least as long as r and share its block size): the copy step
+// that replaces View(0, n).Clone() when r is reused storage.
+func (r *Requests) CopyPrefix(src *Requests) {
+	if r.BlockSize != src.BlockSize {
+		panic("store: CopyPrefix block size mismatch")
+	}
+	if src.Len() < r.Len() {
+		panic(fmt.Sprintf("store: CopyPrefix source %d shorter than %d", src.Len(), r.Len()))
+	}
+	n := r.Len()
+	copy(r.Op, src.Op[:n])
+	copy(r.Key, src.Key[:n])
+	copy(r.Sub, src.Sub[:n])
+	copy(r.Tag, src.Tag[:n])
+	copy(r.Aux, src.Aux[:n])
+	copy(r.Seq, src.Seq[:n])
+	copy(r.Client, src.Client[:n])
+	copy(r.Data, src.Data[:n*r.BlockSize])
+}
+
 // Block returns the value block of record i (aliasing the backing array).
 func (r *Requests) Block(i int) []byte {
 	return r.Data[i*r.BlockSize : (i+1)*r.BlockSize]

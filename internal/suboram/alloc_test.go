@@ -1,0 +1,54 @@
+package suboram
+
+import (
+	"math/rand"
+	"testing"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/store"
+)
+
+// TestBatchAccessZeroAllocSteadyState: with a warm arena, processing a
+// batch — table build, linear scan, extraction — performs zero heap
+// allocations. Workers is pinned to 1; the parallel scan spawns goroutines,
+// which allocate by nature.
+func TestBatchAccessZeroAllocSteadyState(t *testing.T) {
+	pool := arena.NewPool()
+	const block = 32
+	sub := New(Config{BlockSize: block, Workers: 1, Pool: pool})
+
+	nObj := 512
+	ids := make([]uint64, nObj)
+	data := make([]byte, nObj*block)
+	for i := range ids {
+		ids[i] = uint64(i)
+		data[i*block] = byte(i)
+	}
+	if err := sub.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(53))
+	reqs := store.NewRequests(64, block)
+	perm := rng.Perm(nObj)
+	for i := 0; i < reqs.Len(); i++ {
+		reqs.SetRow(i, store.OpRead, uint64(perm[i]), 0, uint64(i), uint64(i), nil)
+	}
+
+	out, err := sub.BatchAccess(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PutRequests(out)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		out, err := sub.BatchAccess(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.PutRequests(out)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm BatchAccess allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"snoopy/internal/arena"
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
 	"snoopy/internal/obliv"
@@ -49,6 +50,9 @@ type Config struct {
 	// TestHashKeys pins the per-batch hash keys so obliviousness tests can
 	// compare traces across batches. Test-only; production must leave nil.
 	TestHashKeys *[2]crypt.SipKey
+	// Pool supplies per-batch working memory (response sets, worker table
+	// copies). Nil means arena.Default.
+	Pool *arena.Pool
 }
 
 // Stats reports where a batch spent its time (paper Fig. 12's "SubORAM
@@ -72,6 +76,38 @@ type SubORAM struct {
 	plain  []byte               // plain mode: n×BlockSize
 	sealed *enclave.SealedStore // sealed mode
 	last   Stats
+
+	// Per-batch scratch, reused across batches (guarded by mu):
+	zeroBlk    []byte        // the all-zero miss response block
+	workTables []ohash.Table // scan-worker table copies (structs reused)
+	workErrs   []error
+
+	// Sealed-scan streaming buffers; sealedMu (not mu) guards them because
+	// scan workers run while mu is held by BatchAccess.
+	sealedMu   sync.Mutex
+	sealedBufs [][]byte
+}
+
+// takeSealedBufs pops n block buffers off the sealed-scan free list,
+// growing it as needed.
+func (s *SubORAM) takeSealedBufs(n int) [][]byte {
+	s.sealedMu.Lock()
+	defer s.sealedMu.Unlock()
+	for len(s.sealedBufs) < n {
+		s.sealedBufs = append(s.sealedBufs, make([]byte, s.cfg.BlockSize))
+	}
+	// Copy the popped entries out: the tail slots are reused by later
+	// appends, so handing out an aliasing subslice would race.
+	bufs := make([][]byte, n)
+	copy(bufs, s.sealedBufs[len(s.sealedBufs)-n:])
+	s.sealedBufs = s.sealedBufs[:len(s.sealedBufs)-n]
+	return bufs
+}
+
+func (s *SubORAM) returnSealedBufs(bufs [][]byte) {
+	s.sealedMu.Lock()
+	s.sealedBufs = append(s.sealedBufs, bufs...)
+	s.sealedMu.Unlock()
 }
 
 // New creates an empty subORAM.
@@ -87,7 +123,20 @@ func New(cfg Config) *SubORAM {
 	}
 	hp := cfg.Hash
 	hp.Rec = cfg.Rec
-	return &SubORAM{cfg: cfg, builder: ohash.NewBuilder(hp)}
+	hp.Pool = cfg.Pool
+	return &SubORAM{
+		cfg:     cfg,
+		builder: ohash.NewBuilder(hp),
+		zeroBlk: make([]byte, cfg.BlockSize),
+	}
+}
+
+// pool returns the configured arena, defaulting to the process-wide one.
+func (s *SubORAM) pool() *arena.Pool {
+	if s.cfg.Pool != nil {
+		return s.cfg.Pool
+	}
+	return arena.Default
 }
 
 // Init loads the partition: object i has identifier ids[i] and value
@@ -189,11 +238,10 @@ func (s *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 		return nil, err
 	}
 	// Requests whose key matched no stored object return zeroes.
-	zero := make([]byte, s.cfg.BlockSize)
-	for _, tier := range []*store.Requests{table.Tier1, table.Tier2} {
+	for _, tier := range [2]*store.Requests{table.Tier1, table.Tier2} {
 		for i := 0; i < tier.Len(); i++ {
 			miss := tier.Tag[i] & obliv.Not(tier.Aux[i])
-			obliv.CondCopyBytes(miss, tier.Block(i), zero)
+			obliv.CondCopyBytes(miss, tier.Block(i), s.zeroBlk)
 		}
 	}
 	st.Scan = time.Since(t0)
@@ -219,42 +267,62 @@ func (s *SubORAM) scan(table *ohash.Table) error {
 		return s.scanRange(table, 0, n)
 	}
 
-	copies := make([]*ohash.Table, workers)
-	errs := make([]error, workers)
-	copies[0] = table
+	// Worker table copies come from the arena (the structs themselves are
+	// reused across batches); worker 0 scans the primary table in place.
+	pool := s.pool()
+	if cap(s.workTables) < workers {
+		s.workTables = make([]ohash.Table, workers)
+		s.workErrs = make([]error, workers)
+	}
+	copies := s.workTables[:workers]
+	errs := s.workErrs[:workers]
 	for w := 1; w < workers; w++ {
-		copies[w] = &ohash.Table{
-			Geom: table.Geom, K1: table.K1, K2: table.K2,
-			Tier1: table.Tier1.Clone(), Tier2: table.Tier2.Clone(),
-		}
+		copies[w] = ohash.Table{Geom: table.Geom, K1: table.K1, K2: table.K2}
+		copies[w].Tier1 = pool.GetRequests(table.Tier1.Len(), table.Tier1.BlockSize)
+		copies[w].Tier1.CopyPrefix(table.Tier1)
+		copies[w].Tier2 = pool.GetRequests(table.Tier2.Len(), table.Tier2.BlockSize)
+		copies[w].Tier2.CopyPrefix(table.Tier2)
 	}
 	var wg sync.WaitGroup
 	per := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo, hi := w*per, minInt((w+1)*per, n)
 		if lo >= hi {
+			errs[w] = nil
 			continue
 		}
 		w, lo, hi := w, lo, hi
+		tbl := table
+		if w > 0 {
+			tbl = &copies[w]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[w] = s.scanRange(copies[w], lo, hi)
+			errs[w] = s.scanRange(tbl, lo, hi)
 		}()
 	}
 	wg.Wait()
+	var firstErr error
 	for _, err := range errs {
 		if err != nil {
-			return err
+			firstErr = err
+			break
 		}
 	}
 	// Merge worker copies back into the primary table: a slot changed only
-	// in the copy whose object range contained the matching key.
+	// in the copy whose object range contained the matching key. Then
+	// release the copies' tier storage back to the arena.
 	for w := 1; w < workers; w++ {
-		mergeTier(table.Tier1, copies[w].Tier1)
-		mergeTier(table.Tier2, copies[w].Tier2)
+		if firstErr == nil {
+			mergeTier(table.Tier1, copies[w].Tier1)
+			mergeTier(table.Tier2, copies[w].Tier2)
+		}
+		pool.PutRequests(copies[w].Tier1)
+		pool.PutRequests(copies[w].Tier2)
+		copies[w] = ohash.Table{}
 	}
-	return nil
+	return firstErr
 }
 
 func mergeTier(dst, src *store.Requests) {
@@ -299,9 +367,14 @@ func (s *SubORAM) scanRangeSealed(table *ohash.Table, lo, hi int) error {
 		err error
 	}
 	const depth = 16
+	// The streaming buffers live on the SubORAM and are reused by every
+	// sealed scan; with Workers > 1 each concurrent range takes its own
+	// disjoint set from the shared free list.
+	bufs := s.takeSealedBufs(depth)
+	defer s.returnSealedBufs(bufs)
 	free := make(chan []byte, depth)
-	for k := 0; k < depth; k++ {
-		free <- make([]byte, s.cfg.BlockSize)
+	for _, b := range bufs {
+		free <- b
 	}
 	loaded := make(chan item, depth)
 	go func() { // host loader thread

@@ -24,83 +24,93 @@ import (
 	"net"
 	"sync"
 
+	"snoopy/internal/arena"
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
 	"snoopy/internal/store"
+	"snoopy/internal/wirecode"
 )
 
 // maxFrame bounds a single message (64 MiB) to stop a malicious peer from
 // forcing unbounded allocation.
 const maxFrame = 64 << 20
 
-// wireRequests is the gob representation of store.Requests (Rec excluded).
-type wireRequests struct {
-	BlockSize int
-	Op        []uint8
-	Key       []uint64
-	Sub       []uint32
-	Tag       []uint8
-	Aux       []uint8
-	Seq       []uint64
-	Client    []uint64
-	Data      []byte
-}
+// Envelope tags: the first plaintext byte of every sealed frame selects the
+// payload codec. Control traffic (handshake-adjacent init/ok/err) stays gob
+// — it is rare and schema-flexible; the per-epoch batch and response frames
+// use the fixed-layout wirecode codec, whose frame length is a closed-form
+// function of the public batch size (see internal/wirecode).
+const (
+	tagControl = 0x00 // gob-encoded message
+	tagBatch   = 0x01 // wirecode request batch
+	tagResp    = 0x02 // wirecode response batch
+)
 
-func toWire(r *store.Requests) wireRequests {
-	return wireRequests{
-		BlockSize: r.BlockSize, Op: r.Op, Key: r.Key, Sub: r.Sub,
-		Tag: r.Tag, Aux: r.Aux, Seq: r.Seq, Client: r.Client, Data: r.Data,
-	}
-}
-
-func fromWire(w wireRequests) (*store.Requests, error) {
-	if w.BlockSize <= 0 {
-		return nil, fmt.Errorf("transport: bad block size %d", w.BlockSize)
-	}
-	n := len(w.Key)
-	if len(w.Op) != n || len(w.Sub) != n || len(w.Tag) != n || len(w.Aux) != n ||
-		len(w.Seq) != n || len(w.Client) != n || len(w.Data) != n*w.BlockSize {
-		return nil, fmt.Errorf("transport: inconsistent request columns")
-	}
-	return &store.Requests{
-		BlockSize: w.BlockSize, Op: w.Op, Key: w.Key, Sub: w.Sub,
-		Tag: w.Tag, Aux: w.Aux, Seq: w.Seq, Client: w.Client, Data: w.Data,
-	}, nil
-}
-
-// message is the single protocol envelope.
+// message is the protocol envelope. Only the exported fields travel in gob
+// control frames; reqs carries a batch/response decoded from a wirecode
+// frame (or to be encoded into one) and never passes through gob.
 type message struct {
 	Kind  string // "init" | "batch" | "ok" | "resp" | "err"
 	IDs   []uint64
 	Data  []byte
-	Reqs  wireRequests
 	Error string
+
+	reqs *store.Requests
 }
 
-// secureConn frames gob messages through AEAD sealing.
+// secureConn frames tagged messages through AEAD sealing. Send and receive
+// buffers are reused across messages: the steady-state batch path performs
+// no per-message allocation beyond the pooled decode target. Sends are
+// serialized by sendMu; receives assume a single reader (the serve loop on
+// the server, the RemoteSubORAM mutex on the client).
 type secureConn struct {
 	conn net.Conn
 	br   *bufio.Reader
 
 	sendMu sync.Mutex
 	seal   *crypt.Sealer // our sending direction
-	open   *crypt.Sealer // peer's sending direction
+	ptBuf  []byte        // plaintext staging (tag + payload)
+	ctBuf  []byte        // length prefix + sealed frame
+
+	open  *crypt.Sealer // peer's sending direction
+	rcvCt []byte        // ciphertext receive buffer
+	rcvPt []byte        // opened plaintext (valid until next recv)
 }
 
+// send transmits a gob control message (tagControl).
 func (c *secureConn) send(m *message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	enc := &sliceWriter{}
-	if err := gob.NewEncoder(enc).Encode(m); err != nil {
+	w := sliceWriter{b: append(c.ptBuf[:0], tagControl)}
+	if err := gob.NewEncoder(&w).Encode(m); err != nil {
 		return err
 	}
-	buf := c.seal.Seal(enc.b, nil)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
-	if _, err := c.conn.Write(hdr[:]); err != nil {
-		return err
+	c.ptBuf = w.b
+	return c.writeSealed(c.ptBuf)
+}
+
+// sendReqs transmits a request or response batch as a wirecode frame. The
+// plaintext buffer is pre-sized from the known frame length, so steady-state
+// encoding is a pure copy.
+func (c *secureConn) sendReqs(tag byte, r *store.Requests) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	need := 1 + wirecode.FrameLen(r.Len(), r.BlockSize)
+	if cap(c.ptBuf) < need {
+		c.ptBuf = make([]byte, 0, need)
 	}
-	_, err := c.conn.Write(buf)
+	c.ptBuf = append(c.ptBuf[:0], tag)
+	c.ptBuf = wirecode.AppendRequests(c.ptBuf, r)
+	return c.writeSealed(c.ptBuf)
+}
+
+// writeSealed seals pt into the reused ciphertext buffer behind a 4-byte
+// big-endian length prefix and writes the whole frame in one call.
+func (c *secureConn) writeSealed(pt []byte) error {
+	c.ctBuf = append(c.ctBuf[:0], 0, 0, 0, 0)
+	c.ctBuf = c.seal.SealAppend(c.ctBuf, pt, nil)
+	binary.BigEndian.PutUint32(c.ctBuf[:4], uint32(len(c.ctBuf)-4))
+	_, err := c.conn.Write(c.ctBuf)
 	return err
 }
 
@@ -109,23 +119,46 @@ func (c *secureConn) recv() (*message, error) {
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	if cap(c.rcvCt) < n {
+		c.rcvCt = make([]byte, n)
+	}
+	buf := c.rcvCt[:n]
 	if _, err := io.ReadFull(c.br, buf); err != nil {
 		return nil, err
 	}
-	pt, err := c.open.Open(buf, nil)
+	pt, err := c.open.OpenAppend(c.rcvPt[:0], buf, nil)
 	if err != nil {
 		return nil, err
 	}
-	var m message
-	if err := gob.NewDecoder(newByteReader(pt)).Decode(&m); err != nil {
-		return nil, err
+	c.rcvPt = pt // retain grown capacity for the next message
+	if len(pt) < 1 {
+		return nil, fmt.Errorf("transport: empty frame")
 	}
-	return &m, nil
+	tag, payload := pt[0], pt[1:]
+	switch tag {
+	case tagControl:
+		var m message
+		if err := gob.NewDecoder(newByteReader(payload)).Decode(&m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	case tagBatch, tagResp:
+		r, err := wirecode.DecodeRequests(payload, arena.Default)
+		if err != nil {
+			return nil, err
+		}
+		kind := "batch"
+		if tag == tagResp {
+			kind = "resp"
+		}
+		return &message{Kind: kind, reqs: r}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown frame tag %#x", tag)
+	}
 }
 
 type sliceWriter struct{ b []byte }
@@ -194,31 +227,33 @@ func serveConn(sc *secureConn, sub Partition) {
 		if err != nil {
 			return
 		}
-		var reply message
 		switch m.Kind {
 		case "init":
+			reply := message{Kind: "ok"}
 			if err := sub.Init(m.IDs, m.Data); err != nil {
 				reply = message{Kind: "err", Error: err.Error()}
-			} else {
-				reply = message{Kind: "ok"}
+			}
+			if err := sc.send(&reply); err != nil {
+				return
 			}
 		case "batch":
-			reqs, err := fromWire(m.Reqs)
-			if err == nil {
-				var out *store.Requests
-				out, err = sub.BatchAccess(reqs)
-				if err == nil {
-					reply = message{Kind: "resp", Reqs: toWire(out)}
-				}
-			}
+			out, err := sub.BatchAccess(m.reqs)
+			arena.Default.PutRequests(m.reqs) // batch consumed
 			if err != nil {
-				reply = message{Kind: "err", Error: err.Error()}
+				if err := sc.send(&message{Kind: "err", Error: err.Error()}); err != nil {
+					return
+				}
+				continue
+			}
+			sendErr := sc.sendReqs(tagResp, out)
+			arena.Default.PutRequests(out)
+			if sendErr != nil {
+				return
 			}
 		default:
-			reply = message{Kind: "err", Error: "unknown message kind"}
-		}
-		if err := sc.send(&reply); err != nil {
-			return
+			if err := sc.send(&message{Kind: "err", Error: "unknown message kind"}); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -348,11 +383,13 @@ func (r *RemoteSubORAM) Init(ids []uint64, data []byte) error {
 	return nil
 }
 
-// BatchAccess implements core.SubORAMClient.
+// BatchAccess implements core.SubORAMClient. The returned responses are
+// drawn from the process-wide arena; the caller owns them and may release
+// them back via arena.Default.PutRequests.
 func (r *RemoteSubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.sc.send(&message{Kind: "batch", Reqs: toWire(reqs)}); err != nil {
+	if err := r.sc.sendReqs(tagBatch, reqs); err != nil {
 		return nil, err
 	}
 	reply, err := r.sc.recv()
@@ -361,7 +398,7 @@ func (r *RemoteSubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, erro
 	}
 	switch reply.Kind {
 	case "resp":
-		return fromWire(reply.Reqs)
+		return reply.reqs, nil
 	case "err":
 		return nil, errors.New(reply.Error)
 	default:

@@ -1,0 +1,52 @@
+package wirecode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeRequests: DecodeRequests consumes untrusted bytes from the
+// network (post-AEAD, but a compromised peer holds the channel key), so it
+// must return an error — never panic, never over-allocate — on arbitrary
+// input: truncations, oversized counts, mismatched block sizes, garbage.
+func FuzzDecodeRequests(f *testing.F) {
+	rng := rand.New(rand.NewSource(46))
+	// Valid frames of several shapes.
+	for _, tc := range []struct{ n, block int }{{0, 16}, {1, 1}, {16, 8}, {100, 160}} {
+		f.Add(AppendRequests(nil, randomRequests(rng, tc.n, tc.block)))
+	}
+	// Structured near-misses.
+	good := AppendRequests(nil, randomRequests(rng, 8, 32))
+	f.Add(good[:HeaderLen])
+	f.Add(good[:len(good)-1])
+	f.Add(append(append([]byte(nil), good...), 0xaa))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x50, 0x4e, 0x53}) // magic bytes alone
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		r, err := DecodeRequests(frame, nil)
+		if err != nil {
+			if r != nil {
+				t.Fatal("error with non-nil result")
+			}
+			return
+		}
+		// A successful decode must be internally consistent and re-encode to
+		// the identical frame.
+		if r.BlockSize <= 0 || r.Len() < 0 {
+			t.Fatalf("inconsistent decode: n=%d block=%d", r.Len(), r.BlockSize)
+		}
+		if len(r.Data) != r.Len()*r.BlockSize {
+			t.Fatalf("data column %d bytes for %d×%d", len(r.Data), r.Len(), r.BlockSize)
+		}
+		re := AppendRequests(nil, r)
+		if len(re) != len(frame) {
+			t.Fatalf("re-encode size %d != input %d", len(re), len(frame))
+		}
+		for i := range re {
+			if re[i] != frame[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

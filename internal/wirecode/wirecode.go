@@ -1,0 +1,197 @@
+// Package wirecode is the fixed-layout wire codec for the request batches
+// that flow between load balancers and subORAMs. It replaces gob on the
+// batch hot path: encoding is a columnar memcpy into a caller-owned buffer,
+// decoding is the reverse into pooled storage, and — the security point —
+// the frame length is a closed-form function of public parameters only,
+//
+//	FrameLen(n, blockSize) = HeaderLen + n·(RowBytes + blockSize),
+//
+// so message sizes manifestly leak nothing beyond (n, blockSize), which the
+// batch-sizing theorem already makes public. gob gave no such guarantee
+// (its varint encodings made frame size a function of field *values*), and
+// it allocated a fresh encoder and reflection state per message.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic 0x534E5031 ("SNP1")
+//	4       2     version (1)
+//	6       2     RowBytes (31) — structural self-check
+//	8       4     blockSize
+//	12      4     n (record count)
+//	16      n     Op column
+//	16+n    8n    Key column
+//	16+9n   4n    Sub column
+//	16+13n  n     Tag column
+//	16+14n  n     Aux column
+//	16+15n  8n    Seq column
+//	16+23n  8n    Client column
+//	16+31n  n·blockSize  Data (n fixed-size value blocks)
+//
+// The same per-record "key + value block" row shape backs the persistence
+// layer's write-ahead log records (KVRow* helpers), so the durable and wire
+// representations of a request cannot drift apart.
+package wirecode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/store"
+)
+
+const (
+	// Magic identifies a batch frame ("SNP1").
+	Magic = 0x534E5031
+	// Version is the frame layout version.
+	Version = 1
+	// HeaderLen is the fixed frame header size in bytes.
+	HeaderLen = 16
+	// RowBytes is the per-record metadata size: Op(1) + Key(8) + Sub(4) +
+	// Tag(1) + Aux(1) + Seq(8) + Client(8).
+	RowBytes = 1 + 8 + 4 + 1 + 1 + 8 + 8
+)
+
+// ErrFrame is wrapped by every decode failure: untrusted bytes that are
+// truncated, oversized, or structurally inconsistent error out — never
+// panic.
+var ErrFrame = errors.New("wirecode: malformed frame")
+
+// FrameLen returns the exact encoded size of an n-record batch: a function
+// of the two public parameters only.
+func FrameLen(n, blockSize int) int {
+	return HeaderLen + n*(RowBytes+blockSize)
+}
+
+// AppendRequests appends the frame encoding of r to dst and returns the
+// extended slice. Callers that pre-grow dst to FrameLen(r.Len(),
+// r.BlockSize) get a pure copy with no allocation.
+func AppendRequests(dst []byte, r *store.Requests) []byte {
+	n := r.Len()
+	need := FrameLen(n, r.BlockSize)
+	// One capacity check up front; all writes below are plain copies.
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	off := len(dst)
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint32(dst[off:], Magic)
+	binary.LittleEndian.PutUint16(dst[off+4:], Version)
+	binary.LittleEndian.PutUint16(dst[off+6:], RowBytes)
+	binary.LittleEndian.PutUint32(dst[off+8:], uint32(r.BlockSize))
+	binary.LittleEndian.PutUint32(dst[off+12:], uint32(n))
+	p := off + HeaderLen
+	copy(dst[p:], r.Op)
+	p += n
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(dst[p+8*i:], r.Key[i])
+	}
+	p += 8 * n
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(dst[p+4*i:], r.Sub[i])
+	}
+	p += 4 * n
+	copy(dst[p:], r.Tag)
+	p += n
+	copy(dst[p:], r.Aux)
+	p += n
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(dst[p+8*i:], r.Seq[i])
+	}
+	p += 8 * n
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(dst[p+8*i:], r.Client[i])
+	}
+	p += 8 * n
+	copy(dst[p:], r.Data)
+	return dst
+}
+
+// maxRecords bounds the record count a frame may declare, independent of
+// any transport-level frame cap, so a hostile header cannot force a huge
+// pool allocation.
+const maxRecords = 1 << 26
+
+// DecodeRequests validates frame — untrusted bytes — and decodes it into a
+// record set drawn from pool (arena.Default when nil). The frame must be
+// exactly one encoded batch; truncated, padded, or inconsistent input
+// returns an error wrapping ErrFrame. The caller owns the result and may
+// release it back to the pool.
+func DecodeRequests(frame []byte, pool *arena.Pool) (*store.Requests, error) {
+	if pool == nil {
+		pool = arena.Default
+	}
+	if len(frame) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need %d-byte header", ErrFrame, len(frame), HeaderLen)
+	}
+	if m := binary.LittleEndian.Uint32(frame[0:]); m != Magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrFrame, m)
+	}
+	if v := binary.LittleEndian.Uint16(frame[4:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFrame, v)
+	}
+	if rb := binary.LittleEndian.Uint16(frame[6:]); rb != RowBytes {
+		return nil, fmt.Errorf("%w: row size %d, built for %d", ErrFrame, rb, RowBytes)
+	}
+	blockSize := int(binary.LittleEndian.Uint32(frame[8:]))
+	n := int(binary.LittleEndian.Uint32(frame[12:]))
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("%w: block size %d", ErrFrame, blockSize)
+	}
+	if n < 0 || n > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d", ErrFrame, n)
+	}
+	want := uint64(HeaderLen) + uint64(n)*uint64(RowBytes+blockSize)
+	if uint64(len(frame)) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d records of block %d, want %d",
+			ErrFrame, len(frame), n, blockSize, want)
+	}
+	r := pool.GetRequests(n, blockSize)
+	p := HeaderLen
+	copy(r.Op, frame[p:p+n])
+	p += n
+	for i := 0; i < n; i++ {
+		r.Key[i] = binary.LittleEndian.Uint64(frame[p+8*i:])
+	}
+	p += 8 * n
+	for i := 0; i < n; i++ {
+		r.Sub[i] = binary.LittleEndian.Uint32(frame[p+4*i:])
+	}
+	p += 4 * n
+	copy(r.Tag, frame[p:p+n])
+	p += n
+	copy(r.Aux, frame[p:p+n])
+	p += n
+	for i := 0; i < n; i++ {
+		r.Seq[i] = binary.LittleEndian.Uint64(frame[p+8*i:])
+	}
+	p += 8 * n
+	for i := 0; i < n; i++ {
+		r.Client[i] = binary.LittleEndian.Uint64(frame[p+8*i:])
+	}
+	p += 8 * n
+	copy(r.Data, frame[p:])
+	return r, nil
+}
+
+// KVRowLen is the byte length of one key/value row: the shared record shape
+// of WAL records and the codec's logical rows.
+func KVRowLen(blockSize int) int { return 8 + blockSize }
+
+// PutKVRow encodes (key, value) into row, zero-padding the value to the
+// row's block size. row must be KVRowLen-sized for that block size.
+func PutKVRow(row []byte, key uint64, value []byte) {
+	binary.LittleEndian.PutUint64(row[:8], key)
+	n := copy(row[8:], value)
+	clear(row[8+n:])
+}
+
+// KVRowKey returns the key of an encoded row.
+func KVRowKey(row []byte) uint64 { return binary.LittleEndian.Uint64(row[:8]) }
+
+// KVRowValue returns the value block of an encoded row (aliasing row).
+func KVRowValue(row []byte) []byte { return row[8:] }

@@ -1,0 +1,220 @@
+package wirecode
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/store"
+)
+
+// gobRequests mirrors the gob representation the transport used before the
+// fixed-layout codec; the equivalence test proves the codec carries exactly
+// the same information.
+type gobRequests struct {
+	BlockSize int
+	Op        []uint8
+	Key       []uint64
+	Sub       []uint32
+	Tag       []uint8
+	Aux       []uint8
+	Seq       []uint64
+	Client    []uint64
+	Data      []byte
+}
+
+func randomRequests(rng *rand.Rand, n, block int) *store.Requests {
+	r := store.NewRequests(n, block)
+	for i := 0; i < n; i++ {
+		r.Op[i] = uint8(rng.Intn(2))
+		r.Key[i] = rng.Uint64()
+		r.Sub[i] = rng.Uint32()
+		r.Tag[i] = uint8(rng.Intn(2))
+		r.Aux[i] = uint8(rng.Intn(2))
+		r.Seq[i] = rng.Uint64()
+		r.Client[i] = rng.Uint64()
+		rng.Read(r.Block(i))
+	}
+	return r
+}
+
+func requestsEqual(a, b *store.Requests) bool {
+	if a.BlockSize != b.BlockSize || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Op[i] != b.Op[i] || a.Key[i] != b.Key[i] || a.Sub[i] != b.Sub[i] ||
+			a.Tag[i] != b.Tag[i] || a.Aux[i] != b.Aux[i] || a.Seq[i] != b.Seq[i] ||
+			a.Client[i] != b.Client[i] {
+			return false
+		}
+	}
+	return bytes.Equal(a.Data, b.Data)
+}
+
+// TestRoundTripMatchesGob: for randomized request sets, decode(encode(r))
+// carries exactly the fields a gob round trip carries.
+func TestRoundTripMatchesGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range []struct{ n, block int }{
+		{0, 16}, {1, 1}, {7, 32}, {256, 160}, {1000, 8},
+	} {
+		r := randomRequests(rng, tc.n, tc.block)
+
+		// Fixed-layout round trip.
+		frame := AppendRequests(nil, r)
+		got, err := DecodeRequests(frame, nil)
+		if err != nil {
+			t.Fatalf("n=%d block=%d: decode: %v", tc.n, tc.block, err)
+		}
+		if !requestsEqual(r, got) {
+			t.Fatalf("n=%d block=%d: codec round trip diverged", tc.n, tc.block)
+		}
+
+		// gob round trip of the same set must agree field-for-field.
+		var buf bytes.Buffer
+		w := gobRequests{BlockSize: r.BlockSize, Op: r.Op, Key: r.Key, Sub: r.Sub,
+			Tag: r.Tag, Aux: r.Aux, Seq: r.Seq, Client: r.Client, Data: r.Data}
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		var gw gobRequests
+		if err := gob.NewDecoder(&buf).Decode(&gw); err != nil {
+			t.Fatal(err)
+		}
+		via := &store.Requests{BlockSize: gw.BlockSize, Op: gw.Op, Key: gw.Key,
+			Sub: gw.Sub, Tag: gw.Tag, Aux: gw.Aux, Seq: gw.Seq, Client: gw.Client, Data: gw.Data}
+		if tc.n > 0 && !requestsEqual(via, got) {
+			t.Fatalf("n=%d block=%d: codec and gob round trips disagree", tc.n, tc.block)
+		}
+	}
+}
+
+// TestRoundTripExtremeValues covers the reserved key spaces and column
+// extremes: load-balancer dummy keys, table-padding keys, max Sub.
+func TestRoundTripExtremeValues(t *testing.T) {
+	r := store.NewRequests(4, 8)
+	r.SetRow(0, store.OpRead, store.DummyKeyBit|42, math.MaxUint32, math.MaxUint64, math.MaxUint64, nil)
+	r.SetRow(1, store.OpWrite, math.MaxUint64, 0, 0, 0, []byte{0xff, 0xfe})
+	r.SetRow(2, store.OpRead, 0, 0, 0, 0, nil)
+	r.SetRow(3, store.OpWrite, store.DummyKeyBit, math.MaxUint32, 1, 1, []byte("12345678"))
+	got, err := DecodeRequests(AppendRequests(nil, r), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !requestsEqual(r, got) {
+		t.Fatal("extreme values did not survive the round trip")
+	}
+}
+
+// TestFrameLengthIsPublic: the encoded size equals FrameLen(n, blockSize)
+// for every content — frame sizes leak nothing beyond the public (n, B).
+func TestFrameLengthIsPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ n, block int }{{0, 16}, {3, 64}, {100, 160}} {
+		want := FrameLen(tc.n, tc.block)
+		var sizes []int
+		for trial := 0; trial < 5; trial++ {
+			r := randomRequests(rng, tc.n, tc.block)
+			frame := AppendRequests(nil, r)
+			sizes = append(sizes, len(frame))
+		}
+		for _, s := range sizes {
+			if s != want {
+				t.Fatalf("n=%d block=%d: frame size %d != FrameLen %d (content-dependent size!)",
+					tc.n, tc.block, s, want)
+			}
+		}
+	}
+}
+
+// TestAppendIntoPresizedBufferDoesNotAllocate: with dst pre-grown to the
+// frame length, encoding is a pure copy.
+func TestAppendIntoPresizedBufferDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	r := randomRequests(rng, 128, 64)
+	buf := make([]byte, 0, FrameLen(r.Len(), r.BlockSize))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendRequests(buf[:0], r)
+	})
+	if allocs != 0 {
+		t.Fatalf("pre-sized encode allocated %.1f times per run", allocs)
+	}
+}
+
+// TestDecodeIntoPool: decode draws from the provided pool and the result
+// can be released back.
+func TestDecodeIntoPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pool := arena.NewPool()
+	r := randomRequests(rng, 50, 16)
+	frame := AppendRequests(nil, r)
+	got, err := DecodeRequests(frame, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PutRequests(got)
+	got2, err := DecodeRequests(frame, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != got {
+		t.Fatal("second decode did not reuse the pooled set")
+	}
+	if !requestsEqual(r, got2) {
+		t.Fatal("pooled decode diverged")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	r := randomRequests(rng, 10, 8)
+	good := AppendRequests(nil, r)
+
+	mutate := func(name string, f func([]byte) []byte) {
+		frame := f(append([]byte(nil), good...))
+		if _, err := DecodeRequests(frame, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("short header", func(b []byte) []byte { return b[:8] })
+	mutate("truncated body", func(b []byte) []byte { return b[:len(b)-1] })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0) })
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	mutate("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("bad row size", func(b []byte) []byte { b[6] = 99; return b })
+	mutate("zero block size", func(b []byte) []byte {
+		b[8], b[9], b[10], b[11] = 0, 0, 0, 0
+		return b
+	})
+	mutate("oversized count", func(b []byte) []byte {
+		b[12], b[13], b[14], b[15] = 0xff, 0xff, 0xff, 0xff
+		return b
+	})
+}
+
+func TestKVRowHelpers(t *testing.T) {
+	row := make([]byte, KVRowLen(16))
+	PutKVRow(row, 0xdeadbeef, []byte("value"))
+	if KVRowKey(row) != 0xdeadbeef {
+		t.Fatalf("key %#x", KVRowKey(row))
+	}
+	v := KVRowValue(row)
+	if len(v) != 16 || !bytes.HasPrefix(v, []byte("value")) {
+		t.Fatalf("value %q", v)
+	}
+	for _, b := range v[5:] {
+		if b != 0 {
+			t.Fatal("value not zero-padded")
+		}
+	}
+	// Re-putting a shorter value clears the old tail.
+	PutKVRow(row, 1, []byte("x"))
+	if v := KVRowValue(row); v[1] != 0 || v[4] != 0 {
+		t.Fatal("stale bytes survived PutKVRow")
+	}
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Data-plane benchmark harness. Runs the hot-path benchmarks (batch
+# formation, response matching, wire codec, end-to-end epochs) with
+# -benchmem and emits results/BENCH_dataplane.json with ns/op, B/op and
+# allocs/op per benchmark. Compare against
+# results/BENCH_dataplane_baseline.json (recorded before the pooled-arena
+# refactor) to see the allocation reduction.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2x}"
+FILTER='BenchmarkLoadBalancerMakeBatch|BenchmarkLoadBalancerMatchResponses|BenchmarkWireCodec|BenchmarkSnoopyEndToEnd|BenchmarkPipelinedEpochs'
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+mkdir -p results
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
+/^Benchmark/ {
+    name = $1; ns = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns  = $(i-1)
+        if ($(i) == "B/op")      bop = $(i-1)
+        if ($(i) == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop)
+}
+END { print "\n  ]"; print "}" }
+' "$RAW" > results/BENCH_dataplane.json
+
+echo "wrote results/BENCH_dataplane.json"

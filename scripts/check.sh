@@ -1,10 +1,21 @@
 #!/usr/bin/env bash
 # Pre-commit check: vet the whole module, then race-test the subsystems with
-# the trickiest concurrency/durability surface (persistence, replication,
-# transport). The full suite is `go test ./...`.
+# the trickiest concurrency surface — persistence, replication, transport,
+# and the pooled data plane (arena recycling under the pipelined epoch loop
+# in core, and the pooled hot paths in loadbalancer/ohash). The full suite
+# is `go test ./...`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/persist/... ./internal/replica/... ./internal/transport/...
+# -race slows the branch-free oblivious scans ~20x; the core package alone
+# needs well over go test's default 10m, hence the explicit timeout.
+go test -race -timeout 45m \
+  ./internal/persist/... \
+  ./internal/replica/... \
+  ./internal/transport/... \
+  ./internal/arena/... \
+  ./internal/core/... \
+  ./internal/loadbalancer/... \
+  ./internal/ohash/...
 echo "check.sh: OK"
