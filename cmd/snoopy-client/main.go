@@ -36,6 +36,9 @@ func main() {
 	lbs := flag.Int("lbs", 2, "load balancers")
 	epoch := flag.Duration("epoch", 50*time.Millisecond, "epoch duration")
 	writeFrac := flag.Float64("writes", 0.5, "write fraction")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-attempt batch RPC deadline (0 = derive from epoch)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "connect + attested handshake deadline (0 = default 5s)")
+	retries := flag.Int("retries", 0, "reconnect attempts after a failed RPC (0 = default 4, negative = none)")
 	flag.Parse()
 
 	var key crypt.Key
@@ -47,9 +50,17 @@ func main() {
 	platform := enclave.NewPlatformFromKey(key)
 	m := snoopy.Measure("snoopy-suboram-v1")
 
+	// Every timeout below derives from public deployment configuration
+	// (flags and the epoch duration), never from request contents.
+	dcfg := snoopy.DialConfig{
+		RPCTimeout:  *rpcTimeout,
+		DialTimeout: *dialTimeout,
+		Retries:     *retries,
+		Epoch:       *epoch,
+	}
 	var subs []snoopy.SubORAM
 	for _, addr := range strings.Split(*servers, ",") {
-		sub, err := snoopy.DialSubORAM(strings.TrimSpace(addr), platform, m)
+		sub, err := snoopy.DialSubORAMConfig(strings.TrimSpace(addr), platform, m, dcfg)
 		if err != nil {
 			log.Fatalf("dial %s: %v", addr, err)
 		}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
@@ -45,6 +46,9 @@ func main() {
 	sealed := flag.Bool("sealed", false, "store partition in sealed enclave-external memory")
 	dataDir := flag.String("data", "", "directory for sealed durable state (empty = in-memory only)")
 	platformHex := flag.String("platform", "", "shared platform root key (64 hex chars); empty generates one and prints it")
+	handshakeTimeout := flag.Duration("handshake-timeout", 10*time.Second, "attested handshake deadline per connection")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle this long (0 = keep forever)")
 	flag.Parse()
 
 	var key crypt.Key
@@ -81,7 +85,12 @@ func main() {
 	}
 	fmt.Printf("subORAM serving on %s (block=%dB sealed=%v measurement=%q)\n",
 		l.Addr(), *block, *sealed, Program)
-	if err := transport.ServeSubORAM(l, serve, platform, enclave.Measure(Program)); err != nil {
+	err = transport.ServeSubORAMOptions(l, serve, platform, enclave.Measure(Program), transport.ServeOptions{
+		HandshakeTimeout: *handshakeTimeout,
+		WriteTimeout:     *writeTimeout,
+		IdleTimeout:      *idleTimeout,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 }

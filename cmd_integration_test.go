@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,13 +22,7 @@ func TestCommandLineIntegration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
 	}
-	bin := t.TempDir()
-	for _, cmd := range []string{"snoopy-server", "snoopy-client"} {
-		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
-		if err != nil {
-			t.Fatalf("build %s: %v\n%s", cmd, err, out)
-		}
-	}
+	bin := buildCommands(t)
 	key := crypt.MustNewKey()
 	platformHex := hex.EncodeToString(key[:])
 
@@ -73,6 +68,142 @@ func TestCommandLineIntegration(t *testing.T) {
 		}
 	}
 }
+
+// TestServerKillRestartIntegration kills one durable snoopy-server with
+// SIGKILL in the middle of a client run and restarts it on the same address
+// and data directory. The client — armed with a retry budget — must ride out
+// the outage: its in-flight batches fail over to redial + re-attestation and
+// the run completes with no failed operation.
+func TestServerKillRestartIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCommands(t)
+	key := crypt.MustNewKey()
+	platformHex := hex.EncodeToString(key[:])
+	dataDir := t.TempDir()
+
+	startServer := func(addr string, durable bool) (*exec.Cmd, *syncBuffer) {
+		args := []string{"-listen", addr, "-block", "64", "-platform", platformHex}
+		if durable {
+			args = append(args, "-data", dataDir)
+		}
+		srv := exec.Command(filepath.Join(bin, "snoopy-server"), args...)
+		out := &syncBuffer{}
+		srv.Stdout = out
+		srv.Stderr = out
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return srv, out
+	}
+
+	victimAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	otherAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	victim, _ := startServer(victimAddr, true)
+	other, _ := startServer(otherAddr, false)
+	defer func() {
+		other.Process.Kill()
+		other.Wait()
+	}()
+	waitListening(t, victimAddr)
+	waitListening(t, otherAddr)
+
+	client := exec.Command(filepath.Join(bin, "snoopy-client"),
+		"-servers", victimAddr+","+otherAddr,
+		"-platform", platformHex,
+		"-block", "64", "-objects", "1000", "-ops", "400",
+		"-clients", "4", "-epoch", "20ms",
+		"-retries", "10")
+	clientOut := &syncBuffer{}
+	client.Stdout = clientOut
+	client.Stderr = clientOut
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() { clientDone <- client.Wait() }()
+
+	// Wait for the workload phase, let a few epochs land, then crash the
+	// durable server the hard way.
+	deadline := time.Now().Add(30 * time.Second)
+	for !bytes.Contains(clientOut.Bytes(), []byte("running")) {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reached the workload:\n%s", clientOut.String())
+		}
+		select {
+		case err := <-clientDone:
+			t.Fatalf("client exited early (%v):\n%s", err, clientOut.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	restarted, restartedOut := startServer(victimAddr, true)
+	defer func() {
+		restarted.Process.Kill()
+		restarted.Wait()
+	}()
+	waitListening(t, victimAddr)
+
+	select {
+	case err := <-clientDone:
+		if err != nil {
+			t.Fatalf("client failed across server restart: %v\n%s", err, clientOut.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("client hung across server restart:\n%s", clientOut.String())
+	}
+	if bytes.Contains(clientOut.Bytes(), []byte("op failed")) {
+		t.Fatalf("operations failed despite retry budget:\n%s", clientOut.String())
+	}
+	for _, want := range []string{"throughput:", "latency:"} {
+		if !bytes.Contains(clientOut.Bytes(), []byte(want)) {
+			t.Fatalf("client output missing %q:\n%s", want, clientOut.String())
+		}
+	}
+	if !bytes.Contains(restartedOut.Bytes(), []byte("recovered partition")) {
+		t.Fatalf("restarted server did not recover its durable state:\n%s", restartedOut.String())
+	}
+}
+
+// buildCommands compiles the real binaries once into a temp dir.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, cmd := range []string{"snoopy-server", "snoopy-client"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+	return bin
+}
+
+// syncBuffer is a bytes.Buffer safe for concurrent writes (process output)
+// and reads (test assertions).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func (b *syncBuffer) String() string { return string(b.Bytes()) }
 
 func freePort(t *testing.T) int {
 	t.Helper()

@@ -42,6 +42,12 @@ type SubORAMClient interface {
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("core: system closed")
 
+// ErrOverflow is returned for requests dropped by per-subORAM batch
+// overflow — the Theorem-3 event whose probability the batch-sizing
+// function makes negligible. A dropped request was never sent to its
+// partition, so failing it explicitly is the only truthful answer.
+var ErrOverflow = errors.New("core: request dropped by batch overflow")
+
 // Config configures a Snoopy deployment.
 type Config struct {
 	// BlockSize is the object value size in bytes.
@@ -132,6 +138,21 @@ type lbState struct {
 	mu      sync.Mutex
 	queue   []pending
 	nextSeq uint64
+	// closed (guarded by mu, not the system-wide channel) makes the
+	// enqueue-after-final-drain race impossible: Close sets it under mu
+	// while draining, and submitAs re-checks it under the same mu before
+	// appending, so no request can slip into a queue nobody will flush.
+	closed bool
+}
+
+// HealthStats reports per-partition failure state, so operators (and the
+// replication layer) can tell a transient blip from a dead partition.
+type HealthStats struct {
+	// ConsecutiveFailures[s] is the current run of epochs in which
+	// partition s failed; it resets to zero on the first success.
+	ConsecutiveFailures []int
+	// TotalFailures[s] counts every epoch in which partition s failed.
+	TotalFailures []uint64
 }
 
 // System is a running Snoopy deployment.
@@ -146,6 +167,7 @@ type System struct {
 	statsMu    sync.Mutex
 	lastEp     EpochStats
 	totalDrops uint64
+	health     HealthStats
 
 	// Pipelined mode: stage A feeds jobs to a worker running stage B in
 	// epoch order; stage C runs concurrently per epoch.
@@ -271,6 +293,10 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 		subs:   subs,
 		closed: make(chan struct{}),
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		health: HealthStats{
+			ConsecutiveFailures: make([]int, len(subs)),
+			TotalFailures:       make([]uint64, len(subs)),
+		},
 	}
 	for i := 0; i < cfg.NumLoadBalancers; i++ {
 		sys.lbs = append(sys.lbs, &lbState{
@@ -345,9 +371,13 @@ func (sys *System) Close() {
 		<-sys.pipeDone
 	}
 	sys.closeACL()
-	// Fail whatever is still queued.
+	// Fail whatever is still queued. The per-lbState closed flag is set
+	// under the same mutex that guards enqueueing, so a submit racing with
+	// Close either lands before this drain (and is failed here) or observes
+	// closed and returns ErrClosed — never a queued request with no reply.
 	for _, st := range sys.lbs {
 		st.mu.Lock()
+		st.closed = true
 		q := st.queue
 		st.queue = nil
 		st.mu.Unlock()
@@ -383,6 +413,10 @@ func (sys *System) submitAs(user uint64, op uint8, key uint64, data []byte) (cha
 	sys.rngMu.Unlock()
 	ch := make(chan result, 1)
 	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
 	st.queue = append(st.queue, pending{op: op, key: key, user: user, data: data, ch: ch})
 	st.mu.Unlock()
 	return ch, nil
@@ -444,6 +478,9 @@ type lbEpoch struct {
 	wall    time.Duration
 	perSub  int
 	dropped int
+	// droppedKeys are the Theorem-3 overflow victims' keys (normally nil);
+	// stage C fails exactly these requests with ErrOverflow.
+	droppedKeys []uint64
 }
 
 // epochJob carries one epoch through the processing stages.
@@ -513,6 +550,7 @@ func (sys *System) stageA() *epochJob {
 			ep := lbEpoch{reqs: reqs, batches: b, err: err, wall: time.Since(t)}
 			if b != nil {
 				ep.perSub, ep.dropped = b.PerSub, b.Dropped
+				ep.droppedKeys = b.DroppedKeys
 			}
 			job.eps[i] = ep
 		}()
@@ -524,6 +562,11 @@ func (sys *System) stageA() *epochJob {
 // stageB executes the epoch's batches: every subORAM processes the L
 // batches in fixed load-balancer order; subORAMs run in parallel with each
 // other. Must be invoked in epoch order.
+//
+// A failed partition does not fail the epoch: its error is recorded with
+// its partition index (and counted in HealthStats), and stage C fails only
+// the requests routed to it — the system degrades per partition and
+// survives to the next epoch.
 func (sys *System) stageB(job *epochJob) {
 	L := len(sys.lbs)
 	S := len(sys.subs)
@@ -540,21 +583,37 @@ func (sys *System) stageB(job *epochJob) {
 		go func() {
 			defer wg.Done()
 			t := time.Now()
+			// Record wall time on every exit: a failed partition's (often
+			// deadline-length) stall is real epoch time, and reporting zero
+			// would skew EpochStats exactly when latency matters most.
+			defer func() { job.subWall[s] = time.Since(t) }()
 			for i := 0; i < L; i++ {
 				if job.eps[i].err != nil || job.eps[i].batches == nil {
 					continue
 				}
 				out, err := sys.subs[s].BatchAccess(job.eps[i].batches.For(s))
 				if err != nil {
-					job.subErr[s] = err
+					job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
 					return
 				}
 				job.responses[i][s] = out
 			}
-			job.subWall[s] = time.Since(t)
 		}()
 	}
 	wg.Wait()
+
+	// Per-partition health accounting (stage B runs in epoch order, so
+	// consecutive-failure runs are well defined even when pipelining).
+	sys.statsMu.Lock()
+	for s := range sys.subs {
+		if job.subErr[s] != nil {
+			sys.health.ConsecutiveFailures[s]++
+			sys.health.TotalFailures[s]++
+		} else {
+			sys.health.ConsecutiveFailures[s] = 0
+		}
+	}
+	sys.statsMu.Unlock()
 	// Every subORAM is done with its views of the batch storage: return it
 	// to the arena now, before stage C (possibly overlapping the next
 	// epoch's stage B in pipelined mode) runs. Stage C reads the copied
@@ -606,19 +665,29 @@ func (sys *System) stageC(job *epochJob) {
 				fail(job.eps[i].err)
 				return
 			}
-			if err := errors.Join(job.subErr...); err != nil {
-				fail(err)
-				return
-			}
+			// Graceful degradation: responses from healthy partitions are
+			// matched normally; requests routed to failed partitions get
+			// that partition's (index-tagged) error. Every reply — value or
+			// error — leaves at match completion, so reply traffic keeps
+			// its uniform timing regardless of which partitions failed.
+			anyErr := false
 			total := 0
 			for s := 0; s < S; s++ {
-				total += job.responses[i][s].Len()
+				if job.subErr[s] != nil {
+					anyErr = true
+					continue
+				}
+				if r := job.responses[i][s]; r != nil {
+					total += r.Len()
+				}
 			}
 			all := arena.Default.GetRequests(total, sys.cfg.BlockSize)
 			off := 0
 			for s := 0; s < S; s++ {
-				all.CopyRowsPlain(off, job.responses[i][s])
-				off += job.responses[i][s].Len()
+				if r := job.responses[i][s]; r != nil && job.subErr[s] == nil {
+					all.CopyRowsPlain(off, r)
+					off += r.Len()
+				}
 			}
 			matched, err := sys.lbs[i].lb.MatchResponses(all, job.eps[i].reqs)
 			arena.Default.PutRequests(all)
@@ -626,16 +695,45 @@ func (sys *System) stageC(job *epochJob) {
 				fail(err)
 				return
 			}
+			var droppedSet map[uint64]struct{}
+			if len(job.eps[i].droppedKeys) > 0 {
+				droppedSet = make(map[uint64]struct{}, len(job.eps[i].droppedKeys))
+				for _, k := range job.eps[i].droppedKeys {
+					droppedSet[k] = struct{}{}
+				}
+			}
+			answered := make([]bool, len(q))
 			for j := 0; j < matched.Len(); j++ {
-				p := q[matched.Client[j]]
+				idx := matched.Client[j]
+				p := q[idx]
+				answered[idx] = true
+				if anyErr {
+					if serr := job.subErr[sys.lbs[i].lb.SubORAMFor(matched.Key[j])]; serr != nil {
+						p.ch <- result{err: serr}
+						continue
+					}
+				}
+				if droppedSet != nil {
+					if _, dropped := droppedSet[matched.Key[j]]; dropped {
+						p.ch <- result{err: ErrOverflow}
+						continue
+					}
+				}
 				val := append([]byte(nil), matched.Block(j)...)
 				found := matched.Aux[j]
 				if job.denied != nil && job.denied[i] != nil {
-					nullDenied(val, &found, job.denied[i][matched.Client[j]])
+					nullDenied(val, &found, job.denied[i][idx])
 				}
 				p.ch <- result{value: val, found: found == 1}
 			}
 			arena.Default.PutRequests(matched)
+			// Liveness backstop: no queued request may ever be left without
+			// a reply, whatever path the epoch took.
+			for idx := range answered {
+				if !answered[idx] {
+					q[idx].ch <- result{err: ErrOverflow}
+				}
+			}
 		}()
 	}
 	wg.Wait()
@@ -694,6 +792,20 @@ func (sys *System) LastEpochStats() EpochStats {
 	sys.statsMu.Lock()
 	defer sys.statsMu.Unlock()
 	return sys.lastEp
+}
+
+// Health returns per-partition failure counters. A partition with a
+// growing ConsecutiveFailures run is down (its requests fail with a
+// partition-tagged error each epoch while the rest of the system keeps
+// serving); the paper's answer at that point is replication
+// (internal/replica) or operator intervention.
+func (sys *System) Health() HealthStats {
+	sys.statsMu.Lock()
+	defer sys.statsMu.Unlock()
+	return HealthStats{
+		ConsecutiveFailures: append([]int(nil), sys.health.ConsecutiveFailures...),
+		TotalFailures:       append([]uint64(nil), sys.health.TotalFailures...),
+	}
 }
 
 // TotalDropped returns the cumulative count of requests dropped by batch

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+const faultBlock = 32
+
+var errInjected = errors.New("injected partition crash")
+
+// flakySub wraps a real partition with a switchable failure mode and a
+// configurable pre-failure delay (so failed partitions report nonzero wall
+// time, like a deadline expiry would).
+type flakySub struct {
+	inner     SubORAMClient
+	fail      atomic.Bool
+	failDelay time.Duration
+}
+
+func (f *flakySub) Init(ids []uint64, data []byte) error { return f.inner.Init(ids, data) }
+
+func (f *flakySub) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	if f.fail.Load() {
+		if f.failDelay > 0 {
+			time.Sleep(f.failDelay)
+		}
+		return nil, errInjected
+	}
+	return f.inner.BatchAccess(reqs)
+}
+
+// newFlakySystem builds an S-partition system over flaky local subORAMs,
+// loaded with keys 0..n-1, manual epochs (Flush-driven).
+func newFlakySystem(t *testing.T, S, n int) (*System, []*flakySub) {
+	t.Helper()
+	flaky := make([]*flakySub, S)
+	subs := make([]SubORAMClient, S)
+	for i := range subs {
+		flaky[i] = &flakySub{inner: suboram.New(suboram.Config{BlockSize: faultBlock})}
+		subs[i] = flaky[i]
+	}
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: faultBlock, NumLoadBalancers: 1, Lambda: 32,
+	}, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	ids := make([]uint64, n)
+	data := make([]byte, n*faultBlock)
+	for i := range ids {
+		ids[i] = uint64(i)
+		data[i*faultBlock] = byte(i + 1)
+	}
+	if err := sys.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	return sys, flaky
+}
+
+// flushAsync submits reads for the given keys, runs one epoch, and returns
+// each key's outcome.
+func flushAsync(t *testing.T, sys *System, keys []uint64) map[uint64]error {
+	t.Helper()
+	waits := make(map[uint64]func() ([]byte, bool, error), len(keys))
+	for _, k := range keys {
+		w, err := sys.ReadAsync(k)
+		if err != nil {
+			t.Fatalf("submit %d: %v", k, err)
+		}
+		waits[k] = w
+	}
+	sys.Flush()
+	outcome := make(map[uint64]error, len(keys))
+	for k, w := range waits {
+		_, _, err := w()
+		outcome[k] = err
+	}
+	return outcome
+}
+
+// TestPartitionFailureDegradesGracefully kills one of three partitions for
+// an epoch: only the requests routed to it may fail (with its index in the
+// error), the rest of the epoch completes, health counters track the
+// failure, and the next epoch — partition recovered — is fully healthy.
+func TestPartitionFailureDegradesGracefully(t *testing.T) {
+	const S, n = 3, 60
+	sys, flaky := newFlakySystem(t, S, n)
+	keys := make([]uint64, n)
+	routed := make(map[uint64]int, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		routed[uint64(i)] = sys.lbs[0].lb.SubORAMFor(uint64(i))
+	}
+	perPart := make([]int, S)
+	for _, s := range routed {
+		perPart[s]++
+	}
+	for s, c := range perPart {
+		if c == 0 {
+			t.Fatalf("no keys routed to partition %d; enlarge n", s)
+		}
+	}
+
+	flaky[1].fail.Store(true)
+	outcome := flushAsync(t, sys, keys)
+	for k, err := range outcome {
+		if routed[k] == 1 {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("key %d on dead partition: err=%v, want injected failure", k, err)
+			}
+			if !strings.Contains(err.Error(), "suboram 1") {
+				t.Fatalf("key %d error %q lacks partition index", k, err)
+			}
+		} else if err != nil {
+			t.Fatalf("key %d on healthy partition %d failed: %v", k, routed[k], err)
+		}
+	}
+	h := sys.Health()
+	if h.ConsecutiveFailures[1] != 1 || h.TotalFailures[1] != 1 {
+		t.Fatalf("health for dead partition: %+v", h)
+	}
+	if h.ConsecutiveFailures[0] != 0 || h.ConsecutiveFailures[2] != 0 {
+		t.Fatalf("healthy partitions marked failed: %+v", h)
+	}
+
+	// Next epoch, partition recovered: the system survived and is whole.
+	flaky[1].fail.Store(false)
+	outcome = flushAsync(t, sys, keys)
+	for k, err := range outcome {
+		if err != nil {
+			t.Fatalf("key %d failed after recovery: %v", k, err)
+		}
+	}
+	h = sys.Health()
+	if h.ConsecutiveFailures[1] != 0 {
+		t.Fatalf("consecutive-failure run not reset on success: %+v", h)
+	}
+	if h.TotalFailures[1] != 1 {
+		t.Fatalf("total failures lost: %+v", h)
+	}
+}
+
+// TestStageBDiagnostics checks the failure-path observability satellites:
+// a failed partition's wall time is recorded (not left at zero) and its
+// error carries the partition index.
+func TestStageBDiagnostics(t *testing.T) {
+	sys, flaky := newFlakySystem(t, 2, 20)
+	flaky[1].fail.Store(true)
+	flaky[1].failDelay = 10 * time.Millisecond
+
+	keys := []uint64{}
+	for k := uint64(0); k < 20; k++ {
+		if sys.lbs[0].lb.SubORAMFor(k) == 1 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		t.Fatal("no keys routed to partition 1")
+	}
+	outcome := flushAsync(t, sys, keys)
+	for k, err := range outcome {
+		if err == nil || !strings.Contains(err.Error(), "suboram 1") {
+			t.Fatalf("key %d: err=%v, want partition-tagged error", k, err)
+		}
+	}
+	stats := sys.LastEpochStats()
+	if len(stats.SubORAMWall) != 2 {
+		t.Fatalf("SubORAMWall: %v", stats.SubORAMWall)
+	}
+	if stats.SubORAMWall[1] < 10*time.Millisecond {
+		t.Fatalf("failed partition wall time %v, want >= its 10ms stall", stats.SubORAMWall[1])
+	}
+}
+
+// TestOverflowReturnsErrOverflow forces the Theorem-3 overflow event with a
+// tiny security parameter and a key set aimed at one partition: every
+// dropped request must fail with ErrOverflow — never hang, never return a
+// silently wrong "not found".
+func TestOverflowReturnsErrOverflow(t *testing.T) {
+	const S = 2
+	subs := make([]SubORAMClient, S)
+	for i := range subs {
+		subs[i] = suboram.New(suboram.Config{BlockSize: faultBlock})
+	}
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: faultBlock, NumLoadBalancers: 1, Lambda: 1,
+	}, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Collect distinct keys that all route to partition 0, overwhelming its
+	// per-epoch batch capacity.
+	var keys []uint64
+	for k := uint64(0); len(keys) < 40 && k < 10_000; k++ {
+		if sys.lbs[0].lb.SubORAMFor(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	n := len(keys)
+	ids := append([]uint64(nil), keys...)
+	data := make([]byte, n*faultBlock)
+	for i := range ids {
+		data[i*faultBlock] = 1
+	}
+	if err := sys.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	outcome := flushAsync(t, sys, keys)
+	overflowed := 0
+	for k, err := range outcome {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrOverflow):
+			overflowed++
+		default:
+			t.Fatalf("key %d: unexpected error %v", k, err)
+		}
+	}
+	if overflowed == 0 {
+		t.Fatalf("no overflow with Lambda=1 and %d keys on one partition; batch stats: %+v",
+			n, sys.LastEpochStats())
+	}
+	if got := sys.TotalDropped(); got != uint64(overflowed) {
+		t.Fatalf("TotalDropped=%d but %d requests got ErrOverflow", got, overflowed)
+	}
+
+	// The negligible event is survivable: the next epoch with a sane load
+	// answers correctly.
+	outcome = flushAsync(t, sys, keys[:4])
+	for k, err := range outcome {
+		if err != nil {
+			t.Fatalf("key %d failed in post-overflow epoch: %v", k, err)
+		}
+	}
+}
+
+// TestSubmitCloseRace hammers concurrent submits against Close: every
+// accepted request must receive exactly one reply (value or ErrClosed) —
+// none may be stranded in a queue nobody will flush.
+func TestSubmitCloseRace(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		sys, err := NewLocal(Config{
+			BlockSize: faultBlock, NumLoadBalancers: 2, NumSubORAMs: 2,
+			Lambda: 32, EpochDuration: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := []uint64{0, 1, 2, 3}
+		if err := sys.Init(ids, make([]byte, len(ids)*faultBlock)); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					wait, err := sys.ReadAsync(uint64(g % len(ids)))
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("submit: %v", err)
+						}
+						return
+					}
+					// The reply must always arrive; a request accepted after
+					// the final drain would block here forever.
+					if _, _, err := wait(); err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("wait: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(2 * time.Millisecond)
+		sys.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("request stranded: submit/Close race left a queued request without a reply")
+		}
+	}
+}

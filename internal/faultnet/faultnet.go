@@ -1,0 +1,275 @@
+// Package faultnet wraps net.Conn and net.Listener with scripted faults —
+// stalls, mid-frame closes, byte corruption, added latency — so the
+// transport and core fault-tolerance paths can be driven deterministically
+// in tests. A fault plan is expressed against absolute stream offsets
+// (bytes read or written so far on that direction), and plans can be
+// swapped at runtime, so a test can let the attested handshake and a first
+// RPC through cleanly and then inject a fault at a known point.
+//
+// The package is test infrastructure but lives outside _test files so the
+// transport, core, and cmd integration tests can all share it.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Never disables a byte-offset trigger in a Plan.
+const Never = int64(-1)
+
+// ErrInjectedClose is returned by reads/writes after a CloseAfter trigger
+// fired (the connection is really closed underneath too).
+var ErrInjectedClose = errors.New("faultnet: connection closed by fault script")
+
+// ErrInjectedStall is returned when a stalled operation is released by
+// closing the connection.
+var ErrInjectedStall = errors.New("faultnet: stalled operation aborted by close")
+
+// Plan scripts the faults for one direction (read or write) of a
+// connection. Offsets are absolute: the number of bytes that direction has
+// already carried. The zero value triggers everything at offset 0; use
+// NoFaults as the base and override fields.
+type Plan struct {
+	// Latency is added before every operation on the direction.
+	Latency time.Duration
+	// StallAfter blocks the direction forever once its offset reaches the
+	// given value (a peer that is alive at TCP level but wedged). Blocked
+	// operations return only when the connection is closed. Never disables.
+	StallAfter int64
+	// CloseAfter closes the whole connection once the direction's offset
+	// reaches the given value, truncating mid-frame. Never disables.
+	CloseAfter int64
+	// CorruptAt flips a bit in the byte at the given offset (AEAD layers
+	// must reject the frame). Never disables.
+	CorruptAt int64
+}
+
+// NoFaults returns a plan with every trigger disabled.
+func NoFaults() Plan {
+	return Plan{StallAfter: Never, CloseAfter: Never, CorruptAt: Never}
+}
+
+// Conn wraps a net.Conn with independently scripted read and write fault
+// plans. All methods are safe for concurrent use to the same degree as the
+// underlying connection.
+type Conn struct {
+	net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	rd stream
+	wr stream
+}
+
+type stream struct {
+	mu   sync.Mutex
+	plan Plan
+	off  int64
+}
+
+// Wrap wraps c with the given read- and write-direction plans.
+func Wrap(c net.Conn, read, write Plan) *Conn {
+	fc := &Conn{Conn: c, closed: make(chan struct{})}
+	fc.rd.plan = read
+	fc.wr.plan = write
+	return fc
+}
+
+// SetReadPlan replaces the read-direction plan at runtime.
+func (c *Conn) SetReadPlan(p Plan) {
+	c.rd.mu.Lock()
+	c.rd.plan = p
+	c.rd.mu.Unlock()
+}
+
+// SetWritePlan replaces the write-direction plan at runtime.
+func (c *Conn) SetWritePlan(p Plan) {
+	c.wr.mu.Lock()
+	c.wr.plan = p
+	c.wr.mu.Unlock()
+}
+
+// ReadOffset returns the bytes delivered to readers so far. Combined with
+// SetReadPlan it pins a fault to "the next byte from now".
+func (c *Conn) ReadOffset() int64 {
+	c.rd.mu.Lock()
+	defer c.rd.mu.Unlock()
+	return c.rd.off
+}
+
+// WriteOffset returns the bytes written so far.
+func (c *Conn) WriteOffset() int64 {
+	c.wr.mu.Lock()
+	defer c.wr.mu.Unlock()
+	return c.wr.off
+}
+
+// Close closes the underlying connection and releases any stalled
+// operations.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// stall blocks until the connection closes.
+func (c *Conn) stall() error {
+	<-c.closed
+	return ErrInjectedStall
+}
+
+// gate applies the plan triggers before moving up to n bytes on the
+// stream; it returns how many bytes may move (possibly fewer, so an exact
+// offset trigger lands on a chunk boundary) or an error.
+func (c *Conn) gate(s *stream, n int) (allowed int, corrupt int64, err error) {
+	s.mu.Lock()
+	plan := s.plan
+	off := s.off
+	s.mu.Unlock()
+
+	if plan.Latency > 0 {
+		select {
+		case <-time.After(plan.Latency):
+		case <-c.closed:
+			return 0, Never, ErrInjectedStall
+		}
+	}
+	if plan.StallAfter != Never && off >= plan.StallAfter {
+		return 0, Never, c.stall()
+	}
+	if plan.CloseAfter != Never && off >= plan.CloseAfter {
+		c.Close()
+		return 0, Never, ErrInjectedClose
+	}
+	allowed = n
+	if plan.StallAfter != Never && off+int64(allowed) > plan.StallAfter {
+		allowed = int(plan.StallAfter - off)
+	}
+	if plan.CloseAfter != Never && off+int64(allowed) > plan.CloseAfter {
+		allowed = int(plan.CloseAfter - off)
+	}
+	corrupt = Never
+	if plan.CorruptAt != Never && plan.CorruptAt >= off && plan.CorruptAt < off+int64(allowed) {
+		corrupt = plan.CorruptAt - off // index within this chunk
+	}
+	return allowed, corrupt, nil
+}
+
+func (s *stream) advance(n int) {
+	s.mu.Lock()
+	s.off += int64(n)
+	s.mu.Unlock()
+}
+
+// Read applies the read plan, then reads from the underlying connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	allowed, corrupt, err := c.gate(&c.rd, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if allowed == 0 && len(p) > 0 {
+		// The trigger sits exactly at the current offset; re-gate to fire it.
+		return c.Read(p)
+	}
+	n, err := c.Conn.Read(p[:allowed])
+	if corrupt != Never && corrupt < int64(n) {
+		p[corrupt] ^= 0x40
+	}
+	c.rd.advance(n)
+	return n, err
+}
+
+// Write applies the write plan, then writes to the underlying connection.
+// Partial chunks are written through so a CloseAfter mid-buffer truncates
+// exactly at its offset.
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		allowed, corrupt, err := c.gate(&c.wr, len(p)-written)
+		if err != nil {
+			return written, err
+		}
+		if allowed == 0 {
+			continue // trigger at current offset fires on re-gate
+		}
+		chunk := p[written : written+allowed]
+		if corrupt != Never {
+			chunk = append([]byte(nil), chunk...)
+			chunk[corrupt] ^= 0x40
+		}
+		n, err := c.Conn.Write(chunk)
+		c.wr.advance(n)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Listener wraps a net.Listener: every accepted connection is wrapped with
+// the plans the planner function yields for it, and tracked so a test can
+// sever all live connections at once (a machine crash, as opposed to a
+// graceful shutdown).
+type Listener struct {
+	net.Listener
+
+	// PlanFor, when non-nil, yields the (read, write) plans for the i-th
+	// accepted connection (0-based). Nil means NoFaults for every conn.
+	PlanFor func(i int) (read, write Plan)
+
+	mu       sync.Mutex
+	accepted int
+	conns    []*Conn
+}
+
+// WrapListener wraps l. planFor may be nil (no faults).
+func WrapListener(l net.Listener, planFor func(i int) (read, write Plan)) *Listener {
+	return &Listener{Listener: l, PlanFor: planFor}
+}
+
+// Accept wraps the next connection with its scripted plans.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	read, write := NoFaults(), NoFaults()
+	l.mu.Lock()
+	i := l.accepted
+	l.accepted++
+	l.mu.Unlock()
+	if l.PlanFor != nil {
+		read, write = l.PlanFor(i)
+	}
+	fc := Wrap(c, read, write)
+	l.mu.Lock()
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// Conns returns the connections accepted so far.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// CloseConns severs every accepted connection (crash of the machine's
+// sockets) without closing the listener.
+func (l *Listener) CloseConns() {
+	for _, c := range l.Conns() {
+		c.Close()
+	}
+}
+
+// Kill simulates a process kill: the listener stops accepting and every
+// live connection is severed.
+func (l *Listener) Kill() {
+	l.Listener.Close()
+	l.CloseConns()
+}

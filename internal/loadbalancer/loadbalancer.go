@@ -119,6 +119,10 @@ type Batches struct {
 	// Dropped counts distinct real requests that exceeded a batch — the
 	// negligible-probability overflow event of Theorem 3.
 	Dropped int
+	// DroppedKeys holds the dropped requests' keys (nil when Dropped == 0)
+	// so the system can fail exactly those requests with an explicit error
+	// instead of silently answering not-found.
+	DroppedKeys []uint64
 
 	pool *arena.Pool
 }
@@ -183,6 +187,7 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 
 	// ➍ Keep the first α distinct keys per subORAM, branch-free.
 	keep := pool.GetBits(work.Len())
+	drop := pool.GetBits(work.Len())
 	dropped := 0
 	var distinct uint64
 	prevSub := ^uint64(0)
@@ -198,16 +203,32 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 		keep[i] = k
 		// A distinct real key that did not fit is a dropped request.
 		isReal := obliv.Not(store.DummyMark(key))
-		dropped += int(newKey & obliv.Not(k) & isReal)
+		drop[i] = newKey & obliv.Not(k) & isReal
+		dropped += int(drop[i])
 		distinct += uint64(newKey)
 		prevSub, prevKey = sub, key
 	}
+	var droppedKeys []uint64
+	if dropped > 0 {
+		// Theorem-3 overflow event: collect the victims' keys (before
+		// Compact permutes work) so the system can fail exactly those
+		// requests. The count is public (EpochStats.Dropped), and this
+		// branchy pass runs only in the negligible-probability event, where
+		// the failure is client-visible anyway.
+		droppedKeys = make([]uint64, 0, dropped)
+		for i := 0; i < work.Len(); i++ {
+			if drop[i] == 1 {
+				droppedKeys = append(droppedKeys, work.Key[i])
+			}
+		}
+	}
 	obliv.Compact(work, keep)
 	pool.PutBits(keep)
+	pool.PutBits(drop)
 	work.Resize(alpha * s)
 
 	b := batchesPool.Get().(*Batches)
-	*b = Batches{All: work, PerSub: alpha, Dropped: dropped, pool: pool}
+	*b = Batches{All: work, PerSub: alpha, Dropped: dropped, DroppedKeys: droppedKeys, pool: pool}
 
 	lb.statsMu.Lock()
 	lb.last.MakeBatch = time.Since(t0)

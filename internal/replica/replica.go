@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snoopy/internal/store"
 )
@@ -101,7 +102,16 @@ type Group struct {
 	replicas []*Replica
 	counter  Counter
 	f, r     int
+	timeout  time.Duration
 }
+
+// SetTimeout bounds each replica's per-batch reply time; a replica that
+// misses the deadline is counted as failed for that batch, so one stalled
+// replica cannot stall the whole quorum (it can still catch up later —
+// its late reply is simply discarded). Zero (the default) waits forever.
+// The timeout is public deployment configuration, like every other timing
+// parameter in the system.
+func (g *Group) SetTimeout(d time.Duration) { g.timeout = d }
 
 // NewGroup builds a group tolerating f crashes and r rollbacks; it
 // requires exactly f+r+1 replicas (paper §9).
@@ -153,19 +163,38 @@ func (g *Group) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rep.mu.Lock()
-			defer rep.mu.Unlock()
-			if rep.downed {
-				replies[i] = reply{err: fmt.Errorf("replica %d down", i)}
+			// The replica's work runs in its own goroutine so a stalled
+			// replica (deadlocked enclave, dead host behind a live TCP
+			// session) can be abandoned at the deadline; the abandoned call
+			// finishes — or not — on its own, and its reply is discarded.
+			done := make(chan reply, 1)
+			go func() {
+				rep.mu.Lock()
+				defer rep.mu.Unlock()
+				if rep.downed {
+					done <- reply{err: fmt.Errorf("replica %d down", i)}
+					return
+				}
+				out, err := rep.client.BatchAccess(reqs.Clone())
+				if err != nil {
+					done <- reply{err: err}
+					return
+				}
+				rep.epoch++
+				done <- reply{out: out, epoch: rep.epoch}
+			}()
+			if g.timeout <= 0 {
+				replies[i] = <-done
 				return
 			}
-			out, err := rep.client.BatchAccess(reqs.Clone())
-			if err != nil {
-				replies[i] = reply{err: err}
-				return
+			timer := time.NewTimer(g.timeout)
+			defer timer.Stop()
+			select {
+			case rp := <-done:
+				replies[i] = rp
+			case <-timer.C:
+				replies[i] = reply{err: fmt.Errorf("replica %d: no reply within %v", i, g.timeout)}
 			}
-			rep.epoch++
-			replies[i] = reply{out: out, epoch: rep.epoch}
 		}()
 	}
 	wg.Wait()

@@ -9,6 +9,18 @@
 // its own public key plus an attestation report binding the enclave
 // measurement to a digest of the handshake transcript. Both sides derive
 // the shared secret and split it into two directional sealing keys.
+//
+// Failure model (§3.1, §9: machines fail): every RPC runs under a deadline,
+// and a RemoteSubORAM that loses its connection redials and re-runs the
+// full attested handshake under exponential backoff with jitter, within a
+// bounded retry budget. Batch frames carry an (lbID, seq) delivery tag; the
+// server remembers the last response per load balancer and answers a
+// redelivered batch by replaying the stored response instead of re-applying
+// it, so an ambiguous failure (response lost in flight) cannot double-apply
+// writes — the at-most-once property linearizability needs. All timeout and
+// retry parameters derive from public configuration (Options), never from
+// request contents, so retry timing leaks nothing the batch schedule does
+// not already make public.
 package transport
 
 import (
@@ -21,8 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"snoopy/internal/arena"
 	"snoopy/internal/crypt"
@@ -39,16 +53,126 @@ const maxFrame = 64 << 20
 // payload codec. Control traffic (handshake-adjacent init/ok/err) stays gob
 // — it is rare and schema-flexible; the per-epoch batch and response frames
 // use the fixed-layout wirecode codec, whose frame length is a closed-form
-// function of the public batch size (see internal/wirecode).
+// function of the public batch size (see internal/wirecode). Batch and
+// response frames carry a fixed 16-byte (lbID, seq) delivery tag between
+// the envelope tag and the wirecode frame, so the frame length stays a
+// function of public parameters only.
 const (
 	tagControl = 0x00 // gob-encoded message
-	tagBatch   = 0x01 // wirecode request batch
-	tagResp    = 0x02 // wirecode response batch
+	tagBatch   = 0x01 // delivery tag + wirecode request batch
+	tagResp    = 0x02 // delivery tag + wirecode response batch
 )
+
+// deliveryTagLen is the fixed (lbID, seq) prefix on batch/response frames.
+const deliveryTagLen = 16
+
+// ErrClosed is returned for RPCs on a RemoteSubORAM after Close.
+var ErrClosed = errors.New("transport: connection closed")
+
+// RemoteError is an application-level error reported by the server's
+// partition (as opposed to a connection failure). RemoteErrors are never
+// retried: the channel is healthy and a retry would re-run a failed
+// partition operation.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Options sets the failure-handling parameters of a dialed connection. All
+// values are public deployment configuration: timeouts and retry schedules
+// are functions of these alone, never of request contents.
+type Options struct {
+	// DialTimeout bounds TCP connect plus the attested handshake
+	// (default 5s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds one BatchAccess attempt — send, remote execution,
+	// and response read (default 30s).
+	RPCTimeout time.Duration
+	// InitTimeout bounds one Init attempt; Init ships the whole partition,
+	// so it gets its own, larger budget (default max(RPCTimeout, 2m)).
+	InitTimeout time.Duration
+	// MaxRetries is how many times a failed RPC redials and retries after
+	// the first attempt (default 4; negative disables retries).
+	MaxRetries int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// attempts: sleep_k = min(RetryBase·2^k, RetryMax), each multiplied by
+	// a uniform jitter in [0.5, 1.5) (defaults 50ms and 2s).
+	RetryBase time.Duration
+	// RetryMax caps the backoff (default 2s).
+	RetryMax time.Duration
+	// Dialer, when non-nil, replaces net.DialTimeout — fault-injection
+	// tests wrap connections here.
+	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+	maxRetriesSet bool // distinguishes MaxRetries 0 = default from "no retries"
+}
+
+// NoRetries returns o with the retry budget set to zero attempts beyond
+// the first.
+func (o Options) NoRetries() Options {
+	o.MaxRetries = 0
+	o.maxRetriesSet = true
+	return o
+}
+
+// WithRetries returns o with an explicit retry budget (0 is honored, unlike
+// assigning the field directly, where 0 means "default").
+func (o Options) WithRetries(n int) Options {
+	o.MaxRetries = n
+	o.maxRetriesSet = true
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RPCTimeout <= 0 {
+		o.RPCTimeout = 30 * time.Second
+	}
+	if o.InitTimeout <= 0 {
+		o.InitTimeout = 2 * time.Minute
+		if o.RPCTimeout > o.InitTimeout {
+			o.InitTimeout = o.RPCTimeout
+		}
+	}
+	if o.MaxRetries == 0 && !o.maxRetriesSet {
+		o.MaxRetries = 4
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.Dialer == nil {
+		o.Dialer = net.DialTimeout
+	}
+	return o
+}
+
+// OptionsForEpoch derives RPC deadlines from the deployment's public epoch
+// duration (core.Config.EpochDuration): a batch that takes much longer
+// than a handful of epochs is stuck, not slow. The floor keeps short-epoch
+// deployments from timing out on honest large batches.
+func OptionsForEpoch(epoch time.Duration) Options {
+	o := Options{}
+	if epoch > 0 {
+		rpc := 20 * epoch
+		if rpc < 2*time.Second {
+			rpc = 2 * time.Second
+		}
+		o.RPCTimeout = rpc
+	}
+	return o.withDefaults()
+}
 
 // message is the protocol envelope. Only the exported fields travel in gob
 // control frames; reqs carries a batch/response decoded from a wirecode
-// frame (or to be encoded into one) and never passes through gob.
+// frame (or to be encoded into one) and never passes through gob. lbID and
+// seq are the delivery tag of batch/response frames.
 type message struct {
 	Kind  string // "init" | "batch" | "ok" | "resp" | "err"
 	IDs   []uint64
@@ -56,6 +180,8 @@ type message struct {
 	Error string
 
 	reqs *store.Requests
+	lbID uint64
+	seq  uint64
 }
 
 // secureConn frames tagged messages through AEAD sealing. Send and receive
@@ -77,6 +203,16 @@ type secureConn struct {
 	rcvPt []byte        // opened plaintext (valid until next recv)
 }
 
+// setDeadline arms (or, with zero, disarms) an absolute I/O deadline on the
+// underlying connection covering both directions.
+func (c *secureConn) setDeadline(d time.Duration) {
+	if d > 0 {
+		c.conn.SetDeadline(time.Now().Add(d))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
 // send transmits a gob control message (tagControl).
 func (c *secureConn) send(m *message) error {
 	c.sendMu.Lock()
@@ -89,17 +225,19 @@ func (c *secureConn) send(m *message) error {
 	return c.writeSealed(c.ptBuf)
 }
 
-// sendReqs transmits a request or response batch as a wirecode frame. The
-// plaintext buffer is pre-sized from the known frame length, so steady-state
-// encoding is a pure copy.
-func (c *secureConn) sendReqs(tag byte, r *store.Requests) error {
+// sendReqs transmits a request or response batch as a delivery-tagged
+// wirecode frame. The plaintext buffer is pre-sized from the known frame
+// length, so steady-state encoding is a pure copy.
+func (c *secureConn) sendReqs(tag byte, lbID, seq uint64, r *store.Requests) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	need := 1 + wirecode.FrameLen(r.Len(), r.BlockSize)
+	need := 1 + deliveryTagLen + wirecode.FrameLen(r.Len(), r.BlockSize)
 	if cap(c.ptBuf) < need {
 		c.ptBuf = make([]byte, 0, need)
 	}
 	c.ptBuf = append(c.ptBuf[:0], tag)
+	c.ptBuf = binary.LittleEndian.AppendUint64(c.ptBuf, lbID)
+	c.ptBuf = binary.LittleEndian.AppendUint64(c.ptBuf, seq)
 	c.ptBuf = wirecode.AppendRequests(c.ptBuf, r)
 	return c.writeSealed(c.ptBuf)
 }
@@ -147,7 +285,12 @@ func (c *secureConn) recv() (*message, error) {
 		}
 		return &m, nil
 	case tagBatch, tagResp:
-		r, err := wirecode.DecodeRequests(payload, arena.Default)
+		if len(payload) < deliveryTagLen {
+			return nil, fmt.Errorf("transport: frame too short for delivery tag")
+		}
+		lbID := binary.LittleEndian.Uint64(payload)
+		seq := binary.LittleEndian.Uint64(payload[8:])
+		r, err := wirecode.DecodeRequests(payload[deliveryTagLen:], arena.Default)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +298,7 @@ func (c *secureConn) recv() (*message, error) {
 		if tag == tagResp {
 			kind = "resp"
 		}
-		return &message{Kind: kind, reqs: r}, nil
+		return &message{Kind: kind, reqs: r, lbID: lbID, seq: seq}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown frame tag %#x", tag)
 	}
@@ -198,10 +341,134 @@ type Partition interface {
 	BatchAccess(reqs *store.Requests) (*store.Requests, error)
 }
 
+// ServeOptions sets the server-side failure-handling parameters.
+type ServeOptions struct {
+	// HandshakeTimeout bounds the attested handshake on a fresh connection
+	// so half-open clients cannot pin goroutines (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each response write so a client that stops
+	// reading cannot wedge the serve loop (default 30s).
+	WriteTimeout time.Duration
+	// IdleTimeout, when positive, closes a connection with no inbound
+	// frames for that long. Zero keeps idle connections forever (load
+	// balancers legitimately idle between epochs).
+	IdleTimeout time.Duration
+	// Replay, when non-nil, carries the at-most-once delivery cache across
+	// ServeSubORAM incarnations (a restarted listener in the same process).
+	// Nil creates a fresh cache.
+	Replay *ReplayCache
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.Replay == nil {
+		o.Replay = NewReplayCache()
+	}
+	return o
+}
+
+// maxTrackedLBs bounds the replay cache: one stored response per load
+// balancer, evicting the least recently delivered entry beyond the cap.
+const maxTrackedLBs = 64
+
+// ReplayCache is the server's at-most-once delivery record: the highest
+// delivery tag applied per load balancer, with the stored response that a
+// redelivery of the same tag replays. It also serializes partition access
+// across connections, which the paper's fixed batch order requires anyway.
+type ReplayCache struct {
+	mu   sync.Mutex
+	last map[uint64]*replayEntry
+	tick uint64 // logical clock for LRU eviction
+}
+
+type replayEntry struct {
+	seq  uint64
+	resp *store.Requests // private clone, not arena-backed
+	used uint64
+}
+
+// NewReplayCache returns an empty cache.
+func NewReplayCache() *ReplayCache { return &ReplayCache{last: make(map[uint64]*replayEntry)} }
+
+// apply resolves one tagged batch delivery against the cache, holding the
+// cache lock across the partition call so "look up, apply, record" is
+// atomic with respect to other connections:
+//
+//   - seq > last applied for this lbID → apply the batch, record the
+//     response, return it;
+//   - seq == last applied → redelivery after an ambiguous failure: replay
+//     the stored response without touching the partition;
+//   - seq < last applied → a stale delivery that can no longer be answered
+//     exactly-once; reject it.
+func (rc *ReplayCache) apply(sub Partition, m *message) (*store.Requests, bool, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.tick++
+	e := rc.last[m.lbID]
+	if e != nil {
+		e.used = rc.tick
+		if m.seq == e.seq {
+			return e.resp, true, nil
+		}
+		if m.seq < e.seq {
+			return nil, false, fmt.Errorf("stale batch %d for lb %#x (last applied %d)", m.seq, m.lbID, e.seq)
+		}
+	}
+	out, err := sub.BatchAccess(m.reqs)
+	if err != nil {
+		return nil, false, err
+	}
+	if e == nil {
+		e = &replayEntry{used: rc.tick}
+		rc.last[m.lbID] = e
+		rc.evictLocked()
+	}
+	e.seq = m.seq
+	e.resp = out.Clone() // survives the arena release of out
+	return out, false, nil
+}
+
+// initLocked serializes Init against in-flight batches and resets the
+// delivery record: a re-initialized partition starts a fresh history.
+func (rc *ReplayCache) init(sub Partition, ids []uint64, data []byte) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err := sub.Init(ids, data); err != nil {
+		return err
+	}
+	clear(rc.last)
+	return nil
+}
+
+func (rc *ReplayCache) evictLocked() {
+	for len(rc.last) > maxTrackedLBs {
+		var victim uint64
+		oldest := ^uint64(0)
+		for id, e := range rc.last {
+			if e.used < oldest {
+				oldest, victim = e.used, id
+			}
+		}
+		delete(rc.last, victim)
+	}
+}
+
 // ServeSubORAM accepts connections on l and serves sub until the listener
 // closes. Each connection performs the attested handshake with the given
 // platform and measurement.
 func ServeSubORAM(l net.Listener, sub Partition, platform *enclave.Platform, m enclave.Measurement) error {
+	return ServeSubORAMOptions(l, sub, platform, m, ServeOptions{})
+}
+
+// ServeSubORAMOptions is ServeSubORAM with explicit failure-handling
+// parameters.
+func ServeSubORAMOptions(l net.Listener, sub Partition, platform *enclave.Platform, m enclave.Measurement, opts ServeOptions) error {
+	opts = opts.withDefaults()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -212,41 +479,51 @@ func ServeSubORAM(l net.Listener, sub Partition, platform *enclave.Platform, m e
 		}
 		go func() {
 			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
 			sc, err := serverHandshake(conn, platform, m)
 			if err != nil {
 				return
 			}
-			serveConn(sc, sub)
+			conn.SetDeadline(time.Time{})
+			serveConn(sc, sub, opts)
 		}()
 	}
 }
 
-func serveConn(sc *secureConn, sub Partition) {
+func serveConn(sc *secureConn, sub Partition, opts ServeOptions) {
 	for {
+		if opts.IdleTimeout > 0 {
+			sc.conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+		}
 		m, err := sc.recv()
 		if err != nil {
 			return
 		}
+		sc.conn.SetReadDeadline(time.Time{})
+		sc.conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 		switch m.Kind {
 		case "init":
 			reply := message{Kind: "ok"}
-			if err := sub.Init(m.IDs, m.Data); err != nil {
+			if err := opts.Replay.init(sub, m.IDs, m.Data); err != nil {
 				reply = message{Kind: "err", Error: err.Error()}
 			}
 			if err := sc.send(&reply); err != nil {
 				return
 			}
 		case "batch":
-			out, err := sub.BatchAccess(m.reqs)
+			out, replayed, err := opts.Replay.apply(sub, m)
 			arena.Default.PutRequests(m.reqs) // batch consumed
 			if err != nil {
 				if err := sc.send(&message{Kind: "err", Error: err.Error()}); err != nil {
 					return
 				}
+				sc.conn.SetWriteDeadline(time.Time{})
 				continue
 			}
-			sendErr := sc.sendReqs(tagResp, out)
-			arena.Default.PutRequests(out)
+			sendErr := sc.sendReqs(tagResp, m.lbID, m.seq, out)
+			if !replayed {
+				arena.Default.PutRequests(out)
+			}
 			if sendErr != nil {
 				return
 			}
@@ -255,6 +532,7 @@ func serveConn(sc *secureConn, sub Partition) {
 				return
 			}
 		}
+		sc.conn.SetWriteDeadline(time.Time{})
 	}
 }
 
@@ -302,24 +580,158 @@ func serverHandshake(conn net.Conn, platform *enclave.Platform, m enclave.Measur
 }
 
 // RemoteSubORAM is a core.SubORAMClient reached over an attested channel.
+// On connection failure it redials and re-attests under exponential backoff
+// within Options' retry budget; redelivered batches are answered from the
+// server's replay cache, never re-applied.
 type RemoteSubORAM struct {
-	mu sync.Mutex
-	sc *secureConn
+	addr     string
+	platform *enclave.Platform
+	want     enclave.Measurement
+	opts     Options
+
+	lbID uint64 // this handle's delivery-stream identity
+
+	mu  sync.Mutex // serializes RPCs (incl. reconnects) on the channel
+	sc  *secureConn
+	seq uint64 // delivery tag of the batch in flight
+
+	connMu    sync.Mutex // guards sc swaps against Close (which skips mu)
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
-// Dial connects to a subORAM server, verifying that the peer attests to the
-// expected measurement on the given platform.
+// Dial connects to a subORAM server with default Options, verifying that
+// the peer attests to the expected measurement on the given platform.
 func Dial(addr string, platform *enclave.Platform, want enclave.Measurement) (*RemoteSubORAM, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, platform, want, Options{})
+}
+
+// DialOptions is Dial with explicit failure-handling parameters. The
+// initial connection is attempted once (callers want fail-fast feedback on
+// address or attestation mistakes); the retry budget applies to later
+// reconnects.
+func DialOptions(addr string, platform *enclave.Platform, want enclave.Measurement, opts Options) (*RemoteSubORAM, error) {
+	opts = opts.withDefaults()
+	var lbID [8]byte
+	if _, err := rand.Read(lbID[:]); err != nil {
+		return nil, err
+	}
+	r := &RemoteSubORAM{
+		addr:     addr,
+		platform: platform,
+		want:     want,
+		opts:     opts,
+		lbID:     binary.LittleEndian.Uint64(lbID[:]),
+		closed:   make(chan struct{}),
+	}
+	sc, err := r.connect()
 	if err != nil {
 		return nil, err
 	}
-	sc, err := clientHandshake(conn, platform, want)
+	r.setConn(sc)
+	return r, nil
+}
+
+// connect dials and runs the attested handshake under DialTimeout.
+func (r *RemoteSubORAM) connect() (*secureConn, error) {
+	conn, err := r.opts.Dialer("tcp", r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(r.opts.DialTimeout))
+	sc, err := clientHandshake(conn, r.platform, r.want)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return &RemoteSubORAM{sc: sc}, nil
+	conn.SetDeadline(time.Time{})
+	return sc, nil
+}
+
+func (r *RemoteSubORAM) setConn(sc *secureConn) {
+	r.connMu.Lock()
+	r.sc = sc
+	r.connMu.Unlock()
+}
+
+func (r *RemoteSubORAM) isClosed() bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// backoff sleeps the k-th retry delay (exponential, jittered, capped) or
+// returns early if the handle closes. All inputs are public configuration.
+func (r *RemoteSubORAM) backoff(k int) error {
+	d := r.opts.RetryBase << uint(k)
+	if d <= 0 || d > r.opts.RetryMax {
+		d = r.opts.RetryMax
+	}
+	d = time.Duration(float64(d) * (0.5 + mrand.Float64()))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-r.closed:
+		return ErrClosed
+	}
+}
+
+// withRetry runs fn against a live connection, redialing (with the full
+// attested handshake) and retrying on connection errors within the retry
+// budget. timeout bounds each attempt's I/O. Application-level errors from
+// the server (RemoteError) and local protocol violations are returned
+// without retry.
+func (r *RemoteSubORAM) withRetry(timeout time.Duration, fn func(sc *secureConn) error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if r.isClosed() {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", ErrClosed, lastErr)
+			}
+			return ErrClosed
+		}
+		sc := r.sc
+		if sc == nil {
+			var err error
+			sc, err = r.connect()
+			if err != nil {
+				lastErr = err
+				if attempt >= r.opts.MaxRetries {
+					break
+				}
+				if err := r.backoff(attempt); err != nil {
+					return err
+				}
+				continue
+			}
+			r.setConn(sc)
+		}
+		sc.setDeadline(timeout)
+		err := fn(sc)
+		sc.setDeadline(0)
+		if err == nil {
+			return nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			return err
+		}
+		// Connection-level failure: drop the channel; the next attempt
+		// redials and re-attests.
+		sc.conn.Close()
+		r.setConn(nil)
+		lastErr = err
+		if attempt >= r.opts.MaxRetries {
+			break
+		}
+		if err := r.backoff(attempt); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("transport: %s: %d attempts failed: %w", r.addr, r.opts.MaxRetries+1, lastErr)
 }
 
 func clientHandshake(conn net.Conn, platform *enclave.Platform, want enclave.Measurement) (*secureConn, error) {
@@ -366,49 +778,82 @@ func clientHandshake(conn net.Conn, platform *enclave.Platform, want enclave.Mea
 	return &secureConn{conn: conn, br: br, seal: sealOut, open: sealIn}, nil
 }
 
-// Init implements core.SubORAMClient.
+// Init implements core.SubORAMClient. Init is idempotent on the server (it
+// replaces the partition contents and resets the delivery record), so
+// retrying an ambiguous failure is safe.
 func (r *RemoteSubORAM) Init(ids []uint64, data []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.sc.send(&message{Kind: "init", IDs: ids, Data: data}); err != nil {
-		return err
-	}
-	reply, err := r.sc.recv()
-	if err != nil {
-		return err
-	}
-	if reply.Kind == "err" {
-		return errors.New(reply.Error)
-	}
-	return nil
+	return r.withRetry(r.opts.InitTimeout, func(sc *secureConn) error {
+		if err := sc.send(&message{Kind: "init", IDs: ids, Data: data}); err != nil {
+			return err
+		}
+		reply, err := sc.recv()
+		if err != nil {
+			return err
+		}
+		if reply.Kind == "err" {
+			return &RemoteError{Msg: reply.Error}
+		}
+		return nil
+	})
 }
 
 // BatchAccess implements core.SubORAMClient. The returned responses are
 // drawn from the process-wide arena; the caller owns them and may release
 // them back via arena.Default.PutRequests.
+//
+// Each call is one tagged delivery: retries after an ambiguous failure
+// re-send the same (lbID, seq) tag, and a server that already applied the
+// batch replays its stored response instead of re-applying, preserving
+// at-most-once application.
 func (r *RemoteSubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.sc.sendReqs(tagBatch, reqs); err != nil {
-		return nil, err
-	}
-	reply, err := r.sc.recv()
+	r.seq++
+	seq := r.seq
+	var out *store.Requests
+	err := r.withRetry(r.opts.RPCTimeout, func(sc *secureConn) error {
+		if err := sc.sendReqs(tagBatch, r.lbID, seq, reqs); err != nil {
+			return err
+		}
+		reply, err := sc.recv()
+		if err != nil {
+			return err
+		}
+		switch reply.Kind {
+		case "resp":
+			if reply.lbID != r.lbID || reply.seq != seq {
+				arena.Default.PutRequests(reply.reqs)
+				return fmt.Errorf("transport: response tag (%#x,%d) does not match batch (%#x,%d)",
+					reply.lbID, reply.seq, r.lbID, seq)
+			}
+			out = reply.reqs
+			return nil
+		case "err":
+			return &RemoteError{Msg: reply.Error}
+		default:
+			return fmt.Errorf("transport: unexpected reply %q", reply.Kind)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	switch reply.Kind {
-	case "resp":
-		return reply.reqs, nil
-	case "err":
-		return nil, errors.New(reply.Error)
-	default:
-		return nil, fmt.Errorf("transport: unexpected reply %q", reply.Kind)
-	}
+	return out, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection. It never waits for an in-flight RPC:
+// the underlying net.Conn is closed directly (net.Conn.Close is safe
+// concurrently with reads and writes), which unblocks any reader stuck on
+// a stalled peer, and in-flight or later RPCs fail with ErrClosed instead
+// of retrying.
 func (r *RemoteSubORAM) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sc.conn.Close()
+	r.closeOnce.Do(func() { close(r.closed) })
+	r.connMu.Lock()
+	sc := r.sc
+	r.connMu.Unlock()
+	if sc != nil {
+		return sc.conn.Close()
+	}
+	return nil
 }

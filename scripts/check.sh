@@ -14,6 +14,7 @@ go test -race -timeout 45m \
   ./internal/persist/... \
   ./internal/replica/... \
   ./internal/transport/... \
+  ./internal/faultnet/... \
   ./internal/arena/... \
   ./internal/core/... \
   ./internal/loadbalancer/... \

@@ -177,6 +177,16 @@ func (s *Store) Stats() EpochStats { return s.sys.LastEpochStats() }
 // TotalDropped returns the cumulative batch-overflow drops (expect 0).
 func (s *Store) TotalDropped() uint64 { return s.sys.TotalDropped() }
 
+// HealthStats re-exports per-partition failure counters (see
+// core.HealthStats).
+type HealthStats = core.HealthStats
+
+// Health returns per-partition failure counters: which partitions are
+// currently failing (and for how many consecutive epochs), and how often
+// each has failed overall. A failed partition degrades only its own
+// requests; the rest of the store keeps serving.
+func (s *Store) Health() HealthStats { return s.sys.Health() }
+
 // Recovered reports whether Open restored partition state from
 // Config.DataDir. A recovered store is ready to serve requests without
 // Load; calling Load anyway replaces the recovered object set.
@@ -203,9 +213,53 @@ func NewPlatform() *Platform { return enclave.NewPlatform() }
 func Measure(program string) Measurement { return enclave.Measure(program) }
 
 // DialSubORAM connects to a remote subORAM over an attested, encrypted
-// channel, verifying its measurement.
+// channel, verifying its measurement. Default failure handling applies:
+// per-RPC deadlines and attested reconnect with exponential backoff (see
+// DialConfig for tuning).
 func DialSubORAM(addr string, p *Platform, want Measurement) (SubORAM, error) {
 	return transport.Dial(addr, p, want)
+}
+
+// DialConfig tunes a remote subORAM connection's failure handling. Every
+// field is public deployment configuration: timeouts and retry schedules
+// are functions of these values alone, never of request contents, so
+// failure-path timing leaks nothing the epoch schedule does not already
+// make public. The zero value gives the defaults (5s dial, 30s RPC, 4
+// reconnect attempts with jittered exponential backoff).
+type DialConfig struct {
+	// DialTimeout bounds TCP connect plus the attested handshake.
+	DialTimeout time.Duration
+	// RPCTimeout bounds one batch RPC attempt. Zero derives it from Epoch
+	// when that is set (20 epochs, floored at 2s), else defaults to 30s.
+	RPCTimeout time.Duration
+	// InitTimeout bounds one Init attempt (default max(RPCTimeout, 2m)).
+	InitTimeout time.Duration
+	// Retries is the reconnect budget after a failed RPC: 0 means the
+	// default (4), negative disables retries.
+	Retries int
+	// Epoch, when set, derives RPCTimeout from the deployment's epoch
+	// duration if RPCTimeout is zero.
+	Epoch time.Duration
+}
+
+// DialSubORAMConfig is DialSubORAM with explicit failure-handling
+// configuration.
+func DialSubORAMConfig(addr string, p *Platform, want Measurement, cfg DialConfig) (SubORAM, error) {
+	opts := transport.Options{
+		DialTimeout: cfg.DialTimeout,
+		RPCTimeout:  cfg.RPCTimeout,
+		InitTimeout: cfg.InitTimeout,
+	}
+	if opts.RPCTimeout <= 0 && cfg.Epoch > 0 {
+		opts.RPCTimeout = transport.OptionsForEpoch(cfg.Epoch).RPCTimeout
+	}
+	switch {
+	case cfg.Retries < 0:
+		opts = opts.WithRetries(0)
+	case cfg.Retries > 0:
+		opts = opts.WithRetries(cfg.Retries)
+	}
+	return transport.DialOptions(addr, p, want, opts)
 }
 
 // NewLocalSubORAM creates an in-process partition (useful to mix local and
