@@ -39,6 +39,8 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-attempt batch RPC deadline (0 = derive from epoch)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "connect + attested handshake deadline (0 = default 5s)")
 	retries := flag.Int("retries", 0, "reconnect attempts after a failed RPC (0 = default 4, negative = none)")
+	standbys := flag.String("standbys", "", "comma-separated standby subORAM addresses, promoted in order when a partition trips the failure detector")
+	failoverAfter := flag.Int("failover-after", 3, "consecutive failed epochs before promoting a standby (used with -standbys)")
 	flag.Parse()
 
 	var key crypt.Key
@@ -68,9 +70,43 @@ func main() {
 		fmt.Printf("attested and connected to %s\n", addr)
 	}
 
-	st, err := snoopy.OpenWithSubORAMs(snoopy.Config{
-		BlockSize: *block, LoadBalancers: *lbs, Epoch: *epoch,
-	}, subs)
+	cfg := snoopy.Config{BlockSize: *block, LoadBalancers: *lbs, Epoch: *epoch}
+
+	// With -standbys, a supervisor promotes the next unused standby when a
+	// partition fails -failover-after consecutive epochs; the threshold is
+	// public configuration, so repair timing reveals nothing about request
+	// contents.
+	var sup *snoopy.Supervisor
+	if *standbys != "" {
+		addrs := strings.Split(*standbys, ",")
+		pool := make(chan string, len(addrs))
+		for _, addr := range addrs {
+			pool <- strings.TrimSpace(addr)
+		}
+		promote := func(part int, old snoopy.SubORAM) (snoopy.SubORAM, error) {
+			select {
+			case addr := <-pool:
+				if c, ok := old.(interface{ Close() error }); ok {
+					c.Close()
+				}
+				sub, err := snoopy.DialSubORAMConfig(addr, platform, m, dcfg)
+				if err != nil {
+					return nil, fmt.Errorf("standby %s: %w", addr, err)
+				}
+				log.Printf("partition %d: promoted standby %s", part, addr)
+				return sub, nil
+			default:
+				return nil, fmt.Errorf("partition %d: no standbys left", part)
+			}
+		}
+		sup = snoopy.NewSupervisor(len(subs), promote, snoopy.FailoverPolicy{FailAfter: *failoverAfter})
+		defer sup.Close()
+		cfg.FailoverAfter = *failoverAfter
+		cfg.Failover = sup.Failover()
+		cfg.OnFailover = sup.OnFailover()
+	}
+
+	st, err := snoopy.OpenWithSubORAMs(cfg, subs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +127,7 @@ func main() {
 		*ops, *clients, 100**writeFrac)
 	gen := workload.Mix(workload.Uniform(*objects), *writeFrac)
 	var lat metrics.Latencies
+	var failed metrics.Counter
 	th := metrics.NewThroughput()
 	var wg sync.WaitGroup
 	perClient := (*ops + *clients - 1) / *clients
@@ -110,8 +147,15 @@ func main() {
 					_, _, err = st.Read(op.Key)
 				}
 				if err != nil {
-					log.Printf("op failed: %v", err)
-					return
+					failed.Inc()
+					if sup == nil {
+						log.Printf("op failed: %v", err)
+						return
+					}
+					// An op routed to a dead partition fails within its
+					// deadline; the supervisor is promoting a standby, so
+					// keep driving load through the outage.
+					continue
 				}
 				lat.Add(time.Since(t0))
 				th.Done(1)
@@ -125,4 +169,11 @@ func main() {
 	fmt.Printf("last epoch: batch=%d dropped=%d make=%v suboram=%v match=%v\n",
 		stats.BatchSize, stats.Dropped, stats.MakeBatch.Round(time.Microsecond),
 		stats.SubORAM.Round(time.Microsecond), stats.Match.Round(time.Microsecond))
+	if n := failed.Load(); n > 0 {
+		fmt.Printf("failed ops: %d\n", n)
+	}
+	if sup != nil {
+		h := st.Health()
+		fmt.Printf("failover:   %s healthy=%v failovers=%v\n", sup.Stats(), h.Healthy(), h.Failovers)
+	}
 }

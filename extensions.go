@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"snoopy/internal/adaptive"
+	"snoopy/internal/cluster"
 	"snoopy/internal/core"
 	"snoopy/internal/pir"
 	"snoopy/internal/planner"
@@ -48,14 +49,89 @@ func (s *Store) WriteAs(user, key uint64, value []byte) (previous []byte, ok boo
 // monotonic counter detecting stale replicas (paper §9). The result plugs
 // into OpenWithSubORAMs like any partition.
 func NewReplicatedSubORAM(blockSize, f, r int, sealed bool) (SubORAM, error) {
-	n := f + r + 1
-	reps := make([]*replica.Replica, n)
-	for i := range reps {
-		reps[i] = replica.NewReplica(suboram.New(suboram.Config{
-			BlockSize: blockSize, Sealed: sealed,
+	return NewReplicatedSubORAMOptions(blockSize, ReplicaOptions{F: f, R: r, Sealed: sealed})
+}
+
+// ReplicaOptions configures a self-healing replicated partition. Every
+// field is public deployment configuration.
+type ReplicaOptions struct {
+	// F and R are the tolerated crash and rollback counts; the group has
+	// F+R+1 members.
+	F, R int
+	// Spares adds standby members that hold no state until promoted; when
+	// auto-heal finds a member unreachable it promotes a spare in its
+	// place and resynchronizes it from a fresh peer.
+	Spares int
+	// AutoHealAfter, when > 0, resynchronizes stale members and promotes
+	// spares for unreachable ones after a member misses that many
+	// consecutive batches. The resync transfer is a whole sealed
+	// partition image — its size is a public function of partition
+	// geometry, so rejoin leaks nothing beyond what Theorem 3 already
+	// makes public.
+	AutoHealAfter int
+	// ReplyTimeout bounds each member's reply per batch (0 = wait
+	// forever); members that miss it are counted failed for that batch
+	// and the quorum proceeds without them.
+	ReplyTimeout time.Duration
+	// Sealed keeps member partitions in enclave-external sealed memory.
+	Sealed bool
+}
+
+// NewReplicatedSubORAMOptions is NewReplicatedSubORAM with self-healing
+// knobs: standby spares, automatic resync/promotion, and a per-batch reply
+// deadline (paper §9 plus the repair loop that returns a faulted group to
+// full health).
+func NewReplicatedSubORAMOptions(blockSize int, opt ReplicaOptions) (SubORAM, error) {
+	n := opt.F + opt.R + 1
+	newRep := func() *replica.Replica {
+		return replica.NewReplica(suboram.New(suboram.Config{
+			BlockSize: blockSize, Sealed: opt.Sealed,
 		}))
 	}
-	return replica.NewGroup(reps, nil, f, r)
+	reps := make([]*replica.Replica, n)
+	for i := range reps {
+		reps[i] = newRep()
+	}
+	g, err := replica.NewGroup(reps, nil, opt.F, opt.R)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ReplyTimeout > 0 {
+		g.SetTimeout(opt.ReplyTimeout)
+	}
+	if opt.AutoHealAfter > 0 {
+		g.SetAutoHeal(opt.AutoHealAfter)
+	}
+	for i := 0; i < opt.Spares; i++ {
+		g.AddSpare(newRep())
+	}
+	return g, nil
+}
+
+// ---- Failure detection and failover supervision (internal/cluster) ----
+
+// FailoverPolicy sets the failure detector's thresholds. All fields are
+// public deployment parameters: detection and repair timing depend only on
+// them, never on request contents.
+type FailoverPolicy = cluster.Policy
+
+// SupervisorStats aggregates a supervisor's repair activity: detector
+// trips, promotions and failed promotions, recoveries, and
+// time-to-recovery.
+type SupervisorStats = cluster.Stats
+
+// Supervisor drives automatic failover: a consecutive-miss failure
+// detector (fed by epoch health and optional liveness probes) that calls a
+// promote hook when a partition trips, with full repair accounting. Wire
+// its Failover/OnFailover into Config, feed Store.Health() to
+// ObserveHealth each epoch (or run Watch probe loops), and read Stats.
+type Supervisor = cluster.Supervisor
+
+// NewSupervisor builds a Supervisor over parts partitions; promote
+// supplies the replacement client for a tripped partition (a dialed
+// standby, or a node restored from sealed durable state).
+func NewSupervisor(parts int, promote FailoverFunc, policy FailoverPolicy) *Supervisor {
+	return cluster.NewSupervisor(parts, promote, policy)
 }
 
 // NewAdaptiveSubORAM builds a partition that switches between the

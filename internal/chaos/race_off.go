@@ -1,0 +1,7 @@
+//go:build !race
+
+package chaos
+
+// raceEnabled reports whether the race detector is compiled in; the
+// default group reply deadline scales with its slowdown.
+const raceEnabled = false

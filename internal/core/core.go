@@ -82,6 +82,27 @@ type Config struct {
 	// persist on their own hosts (snoopy-server -data).
 	DataDir string
 
+	// FailoverAfter trips automatic failover for a partition after that
+	// many consecutive failed epochs (0 disables). Like every timing and
+	// threshold parameter in the system, it is public deployment
+	// configuration — failover timing reveals only that a partition is
+	// down, which the epoch schedule already makes public.
+	FailoverAfter int
+	// Failover is invoked, at most once in flight per partition, when a
+	// partition trips the detector. It returns a replacement client
+	// (typically a standby replica promoted via internal/replica, or a node
+	// freshly restored from internal/persist sealed state) that serves the
+	// partition from the next epoch on. Returning an error (or nil) leaves
+	// the old client in place; the attempt is retried while the partition
+	// keeps failing. The old client is passed so the hook can close it or
+	// salvage state.
+	Failover FailoverFunc
+	// OnFailover, when set, observes every failover attempt: took is the
+	// time from the partition's first failed epoch of this outage (the
+	// time-to-recovery on success), err is nil when a replacement was
+	// promoted.
+	OnFailover func(part int, took time.Duration, err error)
+
 	// routeKey pins the load balancers' partition-assignment key; set by
 	// NewLocal when recovering a durable deployment so recovered objects
 	// stay reachable at their original partitions.
@@ -145,6 +166,10 @@ type lbState struct {
 	closed bool
 }
 
+// FailoverFunc produces a replacement client for a partition whose
+// consecutive-failure run tripped the detector (Config.FailoverAfter).
+type FailoverFunc func(part int, old SubORAMClient) (SubORAMClient, error)
+
 // HealthStats reports per-partition failure state, so operators (and the
 // replication layer) can tell a transient blip from a dead partition.
 type HealthStats struct {
@@ -153,13 +178,40 @@ type HealthStats struct {
 	ConsecutiveFailures []int
 	// TotalFailures[s] counts every epoch in which partition s failed.
 	TotalFailures []uint64
+	// Failovers[s] counts replacements promoted for partition s
+	// (Config.Failover successes).
+	Failovers []uint64
+	// Repairing[s] reports a failover attempt currently in flight.
+	Repairing []bool
+}
+
+// Healthy reports whether every partition is currently serving: no
+// consecutive-failure run and no repair in flight. The chaos harness's
+// convergence invariant checks this.
+func (h HealthStats) Healthy() bool {
+	for _, c := range h.ConsecutiveFailures {
+		if c != 0 {
+			return false
+		}
+	}
+	for _, r := range h.Repairing {
+		if r {
+			return false
+		}
+	}
+	return true
 }
 
 // System is a running Snoopy deployment.
 type System struct {
-	cfg  Config
-	lbs  []*lbState
-	subs []SubORAMClient
+	cfg Config
+	lbs []*lbState
+
+	// subsMu guards element swaps in subs: automatic failover (repair)
+	// replaces a dead partition's client in place. Readers snapshot the
+	// slice; the length never changes.
+	subsMu sync.RWMutex
+	subs   []SubORAMClient
 
 	epochMu sync.Mutex // serializes epoch rounds (stage A)
 	epoch   uint64
@@ -168,6 +220,10 @@ type System struct {
 	lastEp     EpochStats
 	totalDrops uint64
 	health     HealthStats
+	// downSince[s] is when partition s's current consecutive-failure run
+	// began (zero when healthy) — the base for time-to-recovery reporting.
+	downSince []time.Time
+	repairWG  sync.WaitGroup
 
 	// Pipelined mode: stage A feeds jobs to a worker running stage B in
 	// epoch order; stage C runs concurrently per epoch.
@@ -296,7 +352,10 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 		health: HealthStats{
 			ConsecutiveFailures: make([]int, len(subs)),
 			TotalFailures:       make([]uint64, len(subs)),
+			Failovers:           make([]uint64, len(subs)),
+			Repairing:           make([]bool, len(subs)),
 		},
+		downSince: make([]time.Time, len(subs)),
 	}
 	for i := 0; i < cfg.NumLoadBalancers; i++ {
 		sys.lbs = append(sys.lbs, &lbState{
@@ -338,14 +397,15 @@ func (sys *System) Init(ids []uint64, data []byte) error {
 	if err != nil {
 		return err
 	}
+	subs := sys.snapshotSubs()
 	var wg sync.WaitGroup
-	errs := make([]error, len(sys.subs))
-	for s := range sys.subs {
+	errs := make([]error, len(subs))
+	for s := range subs {
 		s := s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[s] = sys.subs[s].Init(partIDs[s], partData[s])
+			errs[s] = subs[s].Init(partIDs[s], partData[s])
 		}()
 	}
 	wg.Wait()
@@ -370,6 +430,9 @@ func (sys *System) Close() {
 		sys.epochMu.Unlock()
 		<-sys.pipeDone
 	}
+	// No stage B runs after this point, so no new repair can start; wait
+	// out any in-flight attempt (its own dial deadlines bound the wait).
+	sys.repairWG.Wait()
 	sys.closeACL()
 	// Fail whatever is still queued. The per-lbState closed flag is set
 	// under the same mutex that guards enqueueing, so a submit racing with
@@ -569,7 +632,8 @@ func (sys *System) stageA() *epochJob {
 // survives to the next epoch.
 func (sys *System) stageB(job *epochJob) {
 	L := len(sys.lbs)
-	S := len(sys.subs)
+	subs := sys.snapshotSubs()
+	S := len(subs)
 	job.responses = make([][]*store.Requests, L)
 	for i := range job.responses {
 		job.responses[i] = make([]*store.Requests, S)
@@ -577,7 +641,7 @@ func (sys *System) stageB(job *epochJob) {
 	job.subWall = make([]time.Duration, S)
 	job.subErr = make([]error, S)
 	var wg sync.WaitGroup
-	for s := range sys.subs {
+	for s := range subs {
 		s := s
 		wg.Add(1)
 		go func() {
@@ -591,7 +655,7 @@ func (sys *System) stageB(job *epochJob) {
 				if job.eps[i].err != nil || job.eps[i].batches == nil {
 					continue
 				}
-				out, err := sys.subs[s].BatchAccess(job.eps[i].batches.For(s))
+				out, err := subs[s].BatchAccess(job.eps[i].batches.For(s))
 				if err != nil {
 					job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
 					return
@@ -603,14 +667,31 @@ func (sys *System) stageB(job *epochJob) {
 	wg.Wait()
 
 	// Per-partition health accounting (stage B runs in epoch order, so
-	// consecutive-failure runs are well defined even when pipelining).
+	// consecutive-failure runs are well defined even when pipelining). A
+	// partition whose run reaches Config.FailoverAfter trips automatic
+	// failover: one repair attempt at a time, retried each further failing
+	// epoch until a replacement is promoted.
+	now := time.Now()
 	sys.statsMu.Lock()
-	for s := range sys.subs {
+	for s := range job.subErr {
 		if job.subErr[s] != nil {
+			if sys.health.ConsecutiveFailures[s] == 0 {
+				sys.downSince[s] = now
+			}
 			sys.health.ConsecutiveFailures[s]++
 			sys.health.TotalFailures[s]++
+			if sys.cfg.FailoverAfter > 0 && sys.cfg.Failover != nil &&
+				sys.health.ConsecutiveFailures[s] >= sys.cfg.FailoverAfter &&
+				!sys.health.Repairing[s] {
+				sys.health.Repairing[s] = true
+				sys.repairWG.Add(1)
+				go sys.repair(s, subs[s])
+			}
 		} else {
 			sys.health.ConsecutiveFailures[s] = 0
+			if !sys.health.Repairing[s] {
+				sys.downSince[s] = time.Time{}
+			}
 		}
 	}
 	sys.statsMu.Unlock()
@@ -771,6 +852,56 @@ func (sys *System) stageC(job *epochJob) {
 	sys.statsMu.Unlock()
 }
 
+// snapshotSubs returns a stable view of the partition clients for one
+// epoch (or Init): repair may swap an element concurrently, and a batch
+// must go entirely to one client.
+func (sys *System) snapshotSubs() []SubORAMClient {
+	sys.subsMu.RLock()
+	defer sys.subsMu.RUnlock()
+	return append([]SubORAMClient(nil), sys.subs...)
+}
+
+// repair runs one failover attempt for partition s. On success the
+// replacement client serves the partition from the next dispatched epoch;
+// on failure the Repairing flag clears so a later failing epoch retries.
+func (sys *System) repair(s int, old SubORAMClient) {
+	defer sys.repairWG.Done()
+	repl, err := sys.cfg.Failover(s, old)
+	if err == nil && repl == nil {
+		err = fmt.Errorf("core: failover for partition %d returned no client", s)
+	}
+	if err != nil {
+		sys.statsMu.Lock()
+		down := sys.downSince[s]
+		sys.health.Repairing[s] = false
+		sys.statsMu.Unlock()
+		if sys.cfg.OnFailover != nil {
+			sys.cfg.OnFailover(s, sinceDown(down), err)
+		}
+		return
+	}
+	sys.subsMu.Lock()
+	sys.subs[s] = repl
+	sys.subsMu.Unlock()
+	sys.statsMu.Lock()
+	sys.health.ConsecutiveFailures[s] = 0
+	sys.health.Failovers[s]++
+	sys.health.Repairing[s] = false
+	down := sys.downSince[s]
+	sys.downSince[s] = time.Time{}
+	sys.statsMu.Unlock()
+	if sys.cfg.OnFailover != nil {
+		sys.cfg.OnFailover(s, sinceDown(down), nil)
+	}
+}
+
+func sinceDown(t0 time.Time) time.Duration {
+	if t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0)
+}
+
 // pipelineWorker drives stages B and C for dispatched epochs, preserving
 // subORAM epoch order while overlapping match/reply with the next epoch.
 func (sys *System) pipelineWorker() {
@@ -805,6 +936,8 @@ func (sys *System) Health() HealthStats {
 	return HealthStats{
 		ConsecutiveFailures: append([]int(nil), sys.health.ConsecutiveFailures...),
 		TotalFailures:       append([]uint64(nil), sys.health.TotalFailures...),
+		Failovers:           append([]uint64(nil), sys.health.Failovers...),
+		Repairing:           append([]bool(nil), sys.health.Repairing...),
 	}
 }
 

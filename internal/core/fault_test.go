@@ -1,15 +1,21 @@
 package core
 
 import (
+	"bytes"
 	"errors"
+	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"snoopy/internal/enclave"
+	"snoopy/internal/faultnet"
+	"snoopy/internal/persist"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
+	"snoopy/internal/transport"
 )
 
 const faultBlock = 32
@@ -243,6 +249,219 @@ func TestOverflowReturnsErrOverflow(t *testing.T) {
 		if err != nil {
 			t.Fatalf("key %d failed in post-overflow epoch: %v", k, err)
 		}
+	}
+}
+
+// TestFailoverPromotesStandby trips the automatic failover path: a
+// partition failing FailoverAfter consecutive epochs invokes the hook, a
+// failed first attempt is retried, and the promoted standby (here: the
+// flaky wrapper's healthy inner partition, standing in for a replica.Group
+// spare) serves the partition's original data from then on.
+func TestFailoverPromotesStandby(t *testing.T) {
+	const S, n = 2, 24
+	flaky := make([]*flakySub, S)
+	subs := make([]SubORAMClient, S)
+	for i := range subs {
+		flaky[i] = &flakySub{inner: suboram.New(suboram.Config{BlockSize: faultBlock})}
+		subs[i] = flaky[i]
+	}
+	var attempts atomic.Int32
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: faultBlock, NumLoadBalancers: 1, Lambda: 32,
+		FailoverAfter: 2,
+		Failover: func(part int, old SubORAMClient) (SubORAMClient, error) {
+			if part != 1 {
+				return nil, errors.New("failover for a healthy partition")
+			}
+			if attempts.Add(1) == 1 {
+				return nil, errors.New("standby not ready yet")
+			}
+			return old.(*flakySub).inner, nil
+		},
+	}, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	keys := make([]uint64, n)
+	ids := make([]uint64, n)
+	data := make([]byte, n*faultBlock)
+	for i := range ids {
+		keys[i] = uint64(i)
+		ids[i] = uint64(i)
+		data[i*faultBlock] = byte(i + 1)
+	}
+	if err := sys.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky[1].fail.Store(true)
+	// Epochs routed to partition 1 fail until the detector trips (2
+	// consecutive failures), the first hook attempt errors, a later failing
+	// epoch retries, and the promotion lands. The repair is asynchronous, so
+	// poll epochs until the system is whole again.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		outcome := flushAsync(t, sys, keys)
+		bad := 0
+		for _, err := range outcome {
+			if err != nil {
+				bad++
+			}
+		}
+		if bad == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failover never promoted the standby (health %+v)", sys.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h := sys.Health()
+	if h.Failovers[1] < 1 {
+		t.Fatalf("no failover recorded for partition 1: %+v", h)
+	}
+	if attempts.Load() < 2 {
+		t.Fatalf("failed first failover attempt was not retried (attempts=%d)", attempts.Load())
+	}
+	if !h.Healthy() {
+		t.Fatalf("system not healthy after promotion: %+v", h)
+	}
+	// The standby serves the partition's original contents.
+	for _, k := range keys {
+		if sys.lbs[0].lb.SubORAMFor(k) != 1 {
+			continue
+		}
+		v, found, err := func() ([]byte, bool, error) {
+			w, err := sys.ReadAsync(k)
+			if err != nil {
+				return nil, false, err
+			}
+			sys.Flush()
+			return w()
+		}()
+		if err != nil || !found || v[0] != byte(k+1) {
+			t.Fatalf("key %d after promotion: v=%v found=%v err=%v", k, v, found, err)
+		}
+	}
+}
+
+// TestFailoverPromotesRestoredRemote closes the full §9 recovery loop over
+// real sockets: a remote durable partition is killed mid-run, the detector
+// trips, and the failover hook restarts the node from its sealed on-disk
+// state (internal/persist recovery) at a fresh address. Acknowledged writes
+// from before the crash must survive into the promoted replacement.
+func TestFailoverPromotesRestoredRemote(t *testing.T) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-suboram")
+	dir := t.TempDir()
+	opts := transport.Options{DialTimeout: 2 * time.Second, RPCTimeout: 2 * time.Second}.NoRetries()
+
+	startNode := func() (*faultnet.Listener, *persist.Durable, string, error) {
+		sub := suboram.New(suboram.Config{BlockSize: faultBlock})
+		dur, err := persist.NewDurable(dir, sub, persist.Config{BlockSize: faultBlock})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		raw, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			dur.Close()
+			return nil, nil, "", err
+		}
+		l := faultnet.WrapListener(raw, nil)
+		go transport.ServeSubORAM(l, dur, platform, m)
+		return l, dur, raw.Addr().String(), nil
+	}
+
+	l1, dur1, addr1, err := startNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := transport.DialOptions(addr1, platform, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var promoted atomic.Int32
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: faultBlock, NumLoadBalancers: 1, Lambda: 32,
+		FailoverAfter: 1,
+		Failover: func(part int, old SubORAMClient) (SubORAMClient, error) {
+			if rc, ok := old.(*transport.RemoteSubORAM); ok {
+				rc.Close()
+			}
+			dur1.Close() // the crashed node's WAL handle: release before reopening the dir
+			l2, dur2, addr2, err := startNode()
+			if err != nil {
+				return nil, err
+			}
+			if !dur2.Recovered() {
+				l2.Close()
+				dur2.Close()
+				return nil, errors.New("restarted node found no sealed state")
+			}
+			t.Cleanup(func() { l2.Close(); dur2.Close() })
+			repl, err := transport.DialOptions(addr2, platform, m, opts)
+			if err != nil {
+				return nil, err
+			}
+			t.Cleanup(func() { repl.Close() })
+			promoted.Add(1)
+			return repl, nil
+		},
+	}, []SubORAMClient{r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	ids := []uint64{1, 2, 3, 4}
+	if err := sys.Init(ids, make([]byte, len(ids)*faultBlock)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.WriteAsync(3, []byte("durable-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if _, _, err := w(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the node: listener and every live connection die at once.
+	l1.Kill()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		outcome := flushAsync(t, sys, ids)
+		bad := 0
+		for _, err := range outcome {
+			if err != nil {
+				bad++
+			}
+		}
+		if bad == 0 && promoted.Load() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored remote never promoted (health %+v)", sys.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h := sys.Health()
+	if h.Failovers[0] < 1 || !h.Healthy() {
+		t.Fatalf("health after restored-remote failover: %+v", h)
+	}
+	// The pre-crash acknowledged write survived sealed recovery into the
+	// replacement node.
+	rw, err := sys.ReadAsync(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	v, found, err := rw()
+	if err != nil || !found || !bytes.HasPrefix(v, []byte("durable-v1")) {
+		t.Fatalf("pre-crash write lost across failover: %q %v %v", v, found, err)
 	}
 }
 

@@ -8,8 +8,23 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready. It backs the failure-handling
+// observability counters (detector trips, promotions, resync traffic).
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
 
 // Latencies accumulates duration samples. Safe for concurrent Add.
 type Latencies struct {

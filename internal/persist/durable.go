@@ -89,6 +89,7 @@ type Durable struct {
 	walEpochs int    // complete epochs in the WAL since the last snapshot
 	snapEpoch uint64 // epoch of the on-disk snapshot
 	recovered bool
+	replayed  int // WAL epochs replayed during recovery (observability)
 }
 
 // NewDurable opens (or creates) the partition directory and wraps inner.
@@ -141,6 +142,7 @@ func NewDurable(path string, inner Partition, cfg Config) (*Durable, error) {
 		}
 		dur.snapEpoch = snapEpoch
 		dur.walEpochs = int(epoch - snapEpoch)
+		dur.replayed = dur.walEpochs
 		dur.recovered = true
 		if err := dur.openWAL(validLen); err != nil {
 			return nil, err
@@ -189,6 +191,15 @@ func (dur *Durable) Recovered() bool {
 	dur.mu.Lock()
 	defer dur.mu.Unlock()
 	return dur.recovered
+}
+
+// ReplayedEpochs reports how many sealed WAL epochs recovery replayed on
+// top of the snapshot when the directory was opened (0 for a fresh
+// partition) — the local resynchronization work a restart performed.
+func (dur *Durable) ReplayedEpochs() int {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	return dur.replayed
 }
 
 // Epoch returns the trusted counter: the number of acknowledged batches.
@@ -291,6 +302,26 @@ func (dur *Durable) snapshotLocked(ids []uint64, data []byte) error {
 // anywhere a Partition does (replication, engine migration).
 func (dur *Durable) Export() (ids []uint64, data []byte, err error) {
 	return dur.inner.Export()
+}
+
+// Restore imports a trusted state image — the receiving side of a §9
+// replica resynchronization: the image came sealed from a fresh peer's
+// enclave, so it skips Init's validation where the partition supports
+// that, and it is immediately sealed as the new on-disk snapshot (WAL
+// reset) so the rejoin itself is crash-consistent.
+func (dur *Durable) Restore(ids []uint64, data []byte) error {
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	var err error
+	if r, ok := dur.inner.(restorer); ok {
+		err = r.Restore(ids, data)
+	} else {
+		err = dur.inner.Init(ids, data)
+	}
+	if err != nil {
+		return err
+	}
+	return dur.snapshotLocked(ids, data)
 }
 
 // Close releases the WAL handle. State already acknowledged remains

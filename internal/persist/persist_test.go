@@ -110,6 +110,47 @@ func TestDurableRoundTrip(t *testing.T) {
 	expectValue(t, dur2, 1, 0) // untouched object keeps its load-time value
 }
 
+// TestRestoreSealsStateAndSurvivesCrash: Restore (the replica-resync
+// import path) must leave the partition serving the imported state AND
+// seal it on disk, so a crash right after a resync recovers the resynced
+// state, not the pre-resync one.
+func TestRestoreSealsStateAndSurvivesCrash(t *testing.T) {
+	dirPath := t.TempDir()
+	dur, err := NewDurable(dirPath, newPartition(t), Config{BlockSize: testBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadObjects(t, dur, 4)
+	writeBatch(t, dur, 2, 1)
+
+	// Import a peer's image: same ids, different versions.
+	n := 4
+	ids := make([]uint64, n)
+	data := make([]byte, n*testBlock)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+		fillValue(data[i*testBlock:(i+1)*testBlock], uint64(i+1), 9)
+	}
+	if err := dur.Restore(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	expectValue(t, dur, 2, 9)
+	if dur.ReplayedEpochs() != 0 {
+		t.Fatalf("fresh open reported replayed epochs: %d", dur.ReplayedEpochs())
+	}
+	// Crash (no Close) and recover: the restored image is the durable one.
+	dur2, err := NewDurable(dirPath, newPartition(t), Config{BlockSize: testBlock})
+	if err != nil {
+		t.Fatalf("reopen after restore: %v", err)
+	}
+	defer dur2.Close()
+	if !dur2.Recovered() {
+		t.Fatal("reopen did not recover")
+	}
+	expectValue(t, dur2, 2, 9)
+	expectValue(t, dur2, 4, 9)
+}
+
 func TestRecoveryAcrossSnapshots(t *testing.T) {
 	dirPath := t.TempDir()
 	cfg := Config{BlockSize: testBlock, SnapshotEvery: 2}

@@ -201,6 +201,217 @@ func (s *stalledClient) BatchAccess(reqs *store.Requests) (*store.Requests, erro
 	return s.Client.BatchAccess(reqs)
 }
 
+// TestRollbackNeverServedBeforeResync is the §9 rejoin trace test: a
+// rolled-back member is excluded (stale epoch) until Resync completes, and
+// only then serves clients again — with post-rollback state, not the stale
+// snapshot.
+func TestRollbackNeverServedBeforeResync(t *testing.T) {
+	g, reps := newGroup(t, 0, 1)
+	writeKey(t, g, 3, []byte("v1"))
+	if err := reps[1].Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// While rolled back and unsynced, the member must never be served back
+	// to clients: with the only fresh member down, the answer is ErrNoQuorum
+	// — not the rolled-back member's stale state.
+	reps[0].Fail()
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpRead, 3, 0, 0, 0, nil)
+	if _, err := g.BatchAccess(reqs); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("rolled-back replica served before resync: err=%v", err)
+	}
+	reps[0].Recover()
+	// Replica 0 missed one epoch while down, so it is stale too; resync
+	// needs a fresh donor. Run one clean epoch first? No — no member is
+	// fresh. Resync must report that honestly.
+	if _, _, err := g.Resync(); !errors.Is(err, ErrNoDonor) {
+		t.Fatalf("resync without a fresh donor: err=%v", err)
+	}
+
+	// Catch replica 0 up by reinitializing the group state path: roll it
+	// forward via rollback+resync is impossible without a donor, so rebuild
+	// freshness the way a deployment would — replica 0 rejoins by serving
+	// batches once its epoch matches again. Here we reset via Rollback (back
+	// to epoch 0 state) and replay nothing: instead verify the donor-based
+	// path on a 3-member group below.
+	g2, reps2 := newGroup(t, 1, 1)
+	writeKey(t, g2, 3, []byte("v2"))
+	if err := reps2[2].Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	st := g2.Stats()
+	if st.Fresh != 3 {
+		t.Fatalf("expected 3 fresh members before rollback batch, got %+v", st)
+	}
+	// One batch: the rolled-back member replies with a stale epoch and is
+	// discarded.
+	v, found := readKey(t, g2, 3)
+	if !found || !bytes.HasPrefix(v, []byte("v2")) {
+		t.Fatalf("stale member leaked: %q %v", v, found)
+	}
+	st = g2.Stats()
+	if st.StaleReplies == 0 {
+		t.Fatalf("stale reply not counted: %+v", st)
+	}
+	if st.Fresh != 2 {
+		t.Fatalf("rolled-back member counted fresh: %+v", st)
+	}
+	// Resync re-admits it with post-rollback state.
+	synced, bytes3, err := g2.Resync()
+	if err != nil || synced != 1 || bytes3 == 0 {
+		t.Fatalf("resync: synced=%d bytes=%d err=%v", synced, bytes3, err)
+	}
+	// Now the resynced member alone must serve the *current* value.
+	reps2[0].Fail()
+	reps2[1].Fail()
+	v, found = readKey(t, g2, 3)
+	if !found || !bytes.HasPrefix(v, []byte("v2")) {
+		t.Fatalf("resynced member served wrong state: %q %v", v, found)
+	}
+	if st := g2.Stats(); st.Resyncs != 1 || st.ResyncEpochs == 0 {
+		t.Fatalf("resync stats: %+v", st)
+	}
+}
+
+// TestAutoHealResyncsLaggingReplica crashes a member for a few epochs;
+// with auto-heal enabled, the recovered (now stale) member is resynced
+// from a fresh peer without any operator call.
+func TestAutoHealResyncsLaggingReplica(t *testing.T) {
+	g, reps := newGroup(t, 1, 0)
+	g.SetAutoHeal(2)
+	reps[1].Fail()
+	writeKey(t, g, 1, []byte("a"))
+	writeKey(t, g, 1, []byte("b"))
+	reps[1].Recover()
+	// Recovered but stale: the next batches trip the miss threshold and
+	// auto-heal resyncs it at the epoch boundary.
+	writeKey(t, g, 1, []byte("c"))
+	if st := g.Stats(); st.Resyncs == 0 {
+		t.Fatalf("auto-heal did not resync the lagging member: %+v", st)
+	}
+	// The healed member alone serves the latest value.
+	reps[0].Fail()
+	v, found := readKey(t, g, 1)
+	if !found || !bytes.HasPrefix(v, []byte("c")) {
+		t.Fatalf("healed member state: %q %v", v, found)
+	}
+	if st := g.Stats(); st.Fresh != 1 {
+		t.Fatalf("healed member not fresh: %+v", st)
+	}
+}
+
+// TestAutoHealPromotesSpare kills a member permanently; auto-heal promotes
+// a registered standby, loads it from a fresh peer, and the group returns
+// to full strength.
+func TestAutoHealPromotesSpare(t *testing.T) {
+	g, reps := newGroup(t, 1, 0)
+	g.SetAutoHeal(2)
+	g.AddSpare(NewReplica(suboram.New(suboram.Config{BlockSize: testBlock})))
+	reps[1].Fail() // never recovers
+	writeKey(t, g, 2, []byte("x1"))
+	writeKey(t, g, 2, []byte("x2"))
+	writeKey(t, g, 2, []byte("x3"))
+	st := g.Stats()
+	if st.Promotions != 1 || st.Spares != 0 {
+		t.Fatalf("spare not promoted: %+v", st)
+	}
+	// The promoted member must be fully fresh: it alone serves the latest
+	// value when the original survivor fails.
+	reps[0].Fail()
+	v, found := readKey(t, g, 2)
+	if !found || !bytes.HasPrefix(v, []byte("x3")) {
+		t.Fatalf("promoted spare state: %q %v", v, found)
+	}
+}
+
+// TestBusyReplicaSkippedNotBlocked verifies the abandoned-call fix: a
+// wedged BatchAccess holds the member's lock, but later epochs skip the
+// busy member immediately instead of queueing behind it, and once the call
+// unwedges the member rejoins via resync.
+func TestBusyReplicaSkippedNotBlocked(t *testing.T) {
+	release := make(chan struct{})
+	stuck := &stalledClient{
+		Client:  suboram.New(suboram.Config{BlockSize: testBlock}),
+		release: release,
+	}
+	live := NewReplica(suboram.New(suboram.Config{BlockSize: testBlock}))
+	wedged := NewReplica(stuck)
+	g, err := NewGroup([]*Replica{live, wedged}, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []uint64{1}
+	data := make([]byte, testBlock)
+	copy(data, []byte("one"))
+	if err := g.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+	g.SetTimeout(200 * time.Millisecond)
+
+	// First batch abandons the wedged member at the deadline; it keeps
+	// holding its lock inside the stalled call.
+	writeKey(t, g, 1, []byte("two"))
+	// Later batches must return promptly (busy skip, not a 200ms deadline
+	// wait behind the held lock) and still serve from the live member.
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		v, found := readKey(t, g, 1)
+		if !found || !bytes.HasPrefix(v, []byte("two")) {
+			t.Fatalf("read during wedge: %q %v", v, found)
+		}
+		if d := time.Since(t0); d > 5*time.Second {
+			t.Fatalf("batch %d blocked %v behind a wedged member", i, d)
+		}
+	}
+	if st := g.Stats(); st.BusySkips == 0 {
+		t.Fatalf("busy member was not skipped: %+v", st)
+	}
+
+	// Unwedge: the abandoned call completes, the member is reachable again
+	// (stale), and resync re-admits it.
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if synced, _, err := g.Resync(); err == nil && synced == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wedged member never became resyncable after release")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	live.Fail()
+	v, found := readKey(t, g, 1)
+	if !found || !bytes.HasPrefix(v, []byte("two")) {
+		t.Fatalf("rejoined member state: %q %v", v, found)
+	}
+}
+
+// TestDigestDuplicateSensitive regression-tests the XOR-fold collision: a
+// response set extended by a duplicated row pair must not hash equal (the
+// pair cancelled to zero under the XOR fold).
+func TestDigestDuplicateSensitive(t *testing.T) {
+	base := store.NewRequests(2, testBlock)
+	base.SetRow(0, store.OpRead, 10, 0, 0, 0, []byte("aa"))
+	base.SetRow(1, store.OpRead, 11, 0, 0, 0, []byte("bb"))
+	dup := store.NewRequests(4, testBlock)
+	dup.SetRow(0, store.OpRead, 10, 0, 0, 0, []byte("aa"))
+	dup.SetRow(1, store.OpRead, 11, 0, 0, 0, []byte("bb"))
+	dup.SetRow(2, store.OpRead, 12, 0, 0, 0, []byte("cc"))
+	dup.SetRow(3, store.OpRead, 12, 0, 0, 0, []byte("cc"))
+	if digestResponses(base) == digestResponses(dup) {
+		t.Fatal("duplicated row pair cancelled out of the response digest")
+	}
+	// Order-independence must survive the fix: same rows, swapped order.
+	swapped := store.NewRequests(2, testBlock)
+	swapped.SetRow(0, store.OpRead, 11, 0, 0, 0, []byte("bb"))
+	swapped.SetRow(1, store.OpRead, 10, 0, 0, 0, []byte("aa"))
+	if digestResponses(base) != digestResponses(swapped) {
+		t.Fatal("response digest became order-sensitive")
+	}
+}
+
 func TestGroupTimeoutSkipsStalledReplica(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)

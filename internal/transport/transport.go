@@ -502,6 +502,13 @@ func serveConn(sc *secureConn, sub Partition, opts ServeOptions) {
 		sc.conn.SetReadDeadline(time.Time{})
 		sc.conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 		switch m.Kind {
+		case "ping":
+			// Liveness probe for the failure detector: proves the attested
+			// channel and the serve loop are alive. Carries and reveals
+			// nothing — probe timing is public deployment configuration.
+			if err := sc.send(&message{Kind: "ok"}); err != nil {
+				return
+			}
 		case "init":
 			reply := message{Kind: "ok"}
 			if err := opts.Replay.init(sub, m.IDs, m.Data); err != nil {
@@ -776,6 +783,51 @@ func clientHandshake(conn net.Conn, platform *enclave.Platform, want enclave.Mea
 		return nil, err
 	}
 	return &secureConn{conn: conn, br: br, seal: sealOut, open: sealIn}, nil
+}
+
+// Ping performs one lightweight liveness probe over the attested channel,
+// redialing (with the full attested handshake) if the channel is down.
+// timeout bounds the whole probe; zero uses DialTimeout. A failed probe is
+// reported, never retried — the failure detector layered above owns the
+// probe schedule, and probe timing derives from public configuration only.
+func (r *RemoteSubORAM) Ping(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = r.opts.DialTimeout
+	}
+	if r.isClosed() {
+		return ErrClosed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc := r.sc
+	if sc == nil {
+		var err error
+		sc, err = r.connect()
+		if err != nil {
+			return err
+		}
+		r.setConn(sc)
+	}
+	sc.setDeadline(timeout)
+	err := func() error {
+		if err := sc.send(&message{Kind: "ping"}); err != nil {
+			return err
+		}
+		reply, err := sc.recv()
+		if err != nil {
+			return err
+		}
+		if reply.Kind != "ok" {
+			return fmt.Errorf("transport: unexpected ping reply %q", reply.Kind)
+		}
+		return nil
+	}()
+	sc.setDeadline(0)
+	if err != nil {
+		sc.conn.Close()
+		r.setConn(nil)
+	}
+	return err
 }
 
 // Init implements core.SubORAMClient. Init is idempotent on the server (it

@@ -10,6 +10,7 @@ import (
 	"snoopy/internal/core"
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
+	"snoopy/internal/faultnet"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
 )
@@ -71,6 +72,56 @@ func TestRemoteSubORAMRoundTrip(t *testing.T) {
 	}
 	if !bytes.HasPrefix(out2.Block(0), []byte("three!")) {
 		t.Fatalf("write over wire lost: %q", out2.Block(0))
+	}
+}
+
+// TestPingProbesLiveness exercises the failure detector's heartbeat RPC: a
+// live server answers promptly, a dead one fails the probe within its
+// deadline, and a restarted one answers again after the probe's redial.
+func TestPingProbesLiveness(t *testing.T) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-suboram")
+	sub := suboram.New(suboram.Config{BlockSize: testBlock})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := raw.Addr().String()
+	l := faultnet.WrapListener(raw, nil)
+	go ServeSubORAM(l, sub, platform, m)
+
+	r, err := DialOptions(addr, platform, m, Options{DialTimeout: 2 * time.Second}.NoRetries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Ping(time.Second); err != nil {
+		t.Fatalf("ping against live server: %v", err)
+	}
+
+	// Kill the server: listener and every live connection die at once.
+	l.Kill()
+	if err := r.Ping(500 * time.Millisecond); err == nil {
+		t.Fatal("ping against dead server succeeded")
+	}
+
+	// Restart on the same address: the probe's single redial re-attests and
+	// succeeds again.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go ServeSubORAM(l2, sub, platform, m)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := r.Ping(time.Second); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ping never recovered after server restart")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Pre-commit check: vet the whole module, then race-test the subsystems with
 # the trickiest concurrency surface — persistence, replication, transport,
-# and the pooled data plane (arena recycling under the pipelined epoch loop
-# in core, and the pooled hot paths in loadbalancer/ohash). The full suite
-# is `go test ./...`.
+# failure detection/failover, the seeded chaos harness, and the pooled data
+# plane (arena recycling under the pipelined epoch loop in core, and the
+# pooled hot paths in loadbalancer/ohash). The full suite is
+# `go test ./...`; the long multi-seed chaos soak is scripts/chaos.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,8 @@ go test -race -timeout 45m \
   ./internal/faultnet/... \
   ./internal/arena/... \
   ./internal/core/... \
+  ./internal/cluster/... \
+  ./internal/chaos/... \
   ./internal/loadbalancer/... \
   ./internal/ohash/...
 echo "check.sh: OK"

@@ -73,7 +73,31 @@ type Config struct {
 	// subORAMs (OpenWithSubORAMs) persist on their own hosts via
 	// `snoopy-server -data`.
 	DataDir string
+	// FailoverAfter, together with Failover, enables automatic partition
+	// repair: after a partition fails this many consecutive epochs, the
+	// store calls Failover in the background to obtain a replacement
+	// client and swaps it in, so the next epochs succeed instead of
+	// failing that partition's requests forever. Zero disables failover.
+	// The threshold is public deployment configuration — repair timing
+	// depends only on it and the epoch schedule, never on request
+	// contents.
+	FailoverAfter int
+	// Failover supplies a replacement client for a tripped partition —
+	// typically a dialed standby server or a node restored from sealed
+	// durable state. At most one attempt per partition is in flight at a
+	// time; an error leaves the partition degraded and the attempt is
+	// retried on the next failing epoch. NewSupervisor wires a
+	// probe-driven detector around this hook.
+	Failover FailoverFunc
+	// OnFailover, if set, observes each completed failover attempt: took
+	// is the outage duration (first failed epoch to successful swap) and
+	// err is nil on success.
+	OnFailover func(part int, took time.Duration, err error)
 }
+
+// FailoverFunc produces a replacement client for failed partition part;
+// old is the client being replaced (close it if it holds resources).
+type FailoverFunc = core.FailoverFunc
 
 // Store is a running Snoopy deployment.
 type Store struct {
@@ -99,6 +123,9 @@ func Open(cfg Config) (*Store, error) {
 		Sealed:           cfg.Sealed,
 		Pipeline:         cfg.Pipeline,
 		DataDir:          cfg.DataDir,
+		FailoverAfter:    cfg.FailoverAfter,
+		Failover:         cfg.Failover,
+		OnFailover:       cfg.OnFailover,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +143,9 @@ func OpenWithSubORAMs(cfg Config, subs []SubORAM) (*Store, error) {
 		EpochDuration:    cfg.Epoch,
 		SortWorkers:      cfg.SortWorkers,
 		Pipeline:         cfg.Pipeline,
+		FailoverAfter:    cfg.FailoverAfter,
+		Failover:         cfg.Failover,
+		OnFailover:       cfg.OnFailover,
 	}, subs)
 	if err != nil {
 		return nil, err
@@ -182,9 +212,11 @@ func (s *Store) TotalDropped() uint64 { return s.sys.TotalDropped() }
 type HealthStats = core.HealthStats
 
 // Health returns per-partition failure counters: which partitions are
-// currently failing (and for how many consecutive epochs), and how often
-// each has failed overall. A failed partition degrades only its own
-// requests; the rest of the store keeps serving.
+// currently failing (and for how many consecutive epochs), how often each
+// has failed overall, and how many times each has been failed over to a
+// replacement (see Config.Failover). A failed partition degrades only its
+// own requests; the rest of the store keeps serving. HealthStats.Healthy
+// reports whether every partition is serving with no repair in flight.
 func (s *Store) Health() HealthStats { return s.sys.Health() }
 
 // Recovered reports whether Open restored partition state from
