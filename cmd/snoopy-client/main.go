@@ -41,6 +41,8 @@ func main() {
 	retries := flag.Int("retries", 0, "reconnect attempts after a failed RPC (0 = default 4, negative = none)")
 	standbys := flag.String("standbys", "", "comma-separated standby subORAM addresses, promoted in order when a partition trips the failure detector")
 	failoverAfter := flag.Int("failover-after", 3, "consecutive failed epochs before promoting a standby (used with -standbys)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /trace/epochs, and /debug/pprof on this address (empty = off)")
+	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the process (and its telemetry endpoint) alive this long after the workload finishes")
 	flag.Parse()
 
 	var key crypt.Key
@@ -52,6 +54,20 @@ func main() {
 	platform := enclave.NewPlatformFromKey(key)
 	m := snoopy.Measure("snoopy-suboram-v1")
 
+	// One registry observes the whole client-side deployment: epoch stage
+	// spans and core counters, load-balancer timings, and per-connection
+	// transport RPC/retry activity. All of it is keyed on public events.
+	var reg *snoopy.Telemetry
+	if *telemetryAddr != "" {
+		reg = snoopy.NewTelemetry()
+		addr, stop, err := snoopy.ServeTelemetry(*telemetryAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry listener on %s: %v", *telemetryAddr, err)
+		}
+		defer stop()
+		fmt.Printf("telemetry on http://%s (/metrics, /trace/epochs, /debug/pprof)\n", addr)
+	}
+
 	// Every timeout below derives from public deployment configuration
 	// (flags and the epoch duration), never from request contents.
 	dcfg := snoopy.DialConfig{
@@ -59,6 +75,7 @@ func main() {
 		DialTimeout: *dialTimeout,
 		Retries:     *retries,
 		Epoch:       *epoch,
+		Telemetry:   reg,
 	}
 	var subs []snoopy.SubORAM
 	for _, addr := range strings.Split(*servers, ",") {
@@ -70,7 +87,7 @@ func main() {
 		fmt.Printf("attested and connected to %s\n", addr)
 	}
 
-	cfg := snoopy.Config{BlockSize: *block, LoadBalancers: *lbs, Epoch: *epoch}
+	cfg := snoopy.Config{BlockSize: *block, LoadBalancers: *lbs, Epoch: *epoch, Telemetry: reg}
 
 	// With -standbys, a supervisor promotes the next unused standby when a
 	// partition fails -failover-after consecutive epochs; the threshold is
@@ -100,6 +117,7 @@ func main() {
 			}
 		}
 		sup = snoopy.NewSupervisor(len(subs), promote, snoopy.FailoverPolicy{FailAfter: *failoverAfter})
+		sup.Instrument(reg)
 		defer sup.Close()
 		cfg.FailoverAfter = *failoverAfter
 		cfg.Failover = sup.Failover()
@@ -175,5 +193,9 @@ func main() {
 	if sup != nil {
 		h := st.Health()
 		fmt.Printf("failover:   %s healthy=%v failovers=%v\n", sup.Stats(), h.Healthy(), h.Failovers)
+	}
+	if reg != nil && *telemetryHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %v...\n", *telemetryHold)
+		time.Sleep(*telemetryHold)
 	}
 }

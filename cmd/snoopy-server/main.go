@@ -34,6 +34,7 @@ import (
 	"snoopy/internal/persist"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
+	"snoopy/internal/telemetry"
 	"snoopy/internal/transport"
 )
 
@@ -72,6 +73,7 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle this long (0 = keep forever)")
 	healthLog := flag.Duration("health-log", 0, "log serving counters (batches, rows, epoch) this often (0 = off)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /trace/epochs, and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
 	var key crypt.Key
@@ -87,12 +89,27 @@ func main() {
 	}
 	platform := enclave.NewPlatformFromKey(key)
 
-	sub := suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed})
+	// One registry instruments the partition, its durable layer, and the
+	// transport. Every instrument it exposes is keyed on public events
+	// only (batches, epochs, connections), so serving it leaks nothing
+	// beyond what the network adversary already sees.
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		addr, stop, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry listener on %s: %v", *telemetryAddr, err)
+		}
+		defer stop()
+		fmt.Printf("telemetry on http://%s (/metrics, /trace/epochs, /debug/pprof)\n", addr)
+	}
+
+	sub := suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed, Telemetry: reg})
 	var serve transport.Partition = sub
 	var dur *persist.Durable
 	if *dataDir != "" {
 		var err error
-		dur, err = persist.NewDurable(*dataDir, sub, persist.Config{BlockSize: *block})
+		dur, err = persist.NewDurable(*dataDir, sub, persist.Config{BlockSize: *block, Telemetry: reg})
 		if err != nil {
 			log.Fatalf("durable state in %s unusable: %v", *dataDir, err)
 		}
@@ -128,6 +145,7 @@ func main() {
 		HandshakeTimeout: *handshakeTimeout,
 		WriteTimeout:     *writeTimeout,
 		IdleTimeout:      *idleTimeout,
+		Telemetry:        reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -168,6 +172,131 @@ func TestServerKillRestartIntegration(t *testing.T) {
 	}
 	if !bytes.Contains(restartedOut.Bytes(), []byte("recovered partition")) {
 		t.Fatalf("restarted server did not recover its durable state:\n%s", restartedOut.String())
+	}
+}
+
+// TestTelemetryEndpointIntegration runs a real snoopy-server and
+// snoopy-client, both with -telemetry-addr, drives a workload, and scrapes
+// the operator surface of each: /metrics must show the transport serving and
+// RPC counters, /trace/epochs must show every epoch stage span, and the
+// pprof index must respond.
+func TestTelemetryEndpointIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCommands(t)
+	key := crypt.MustNewKey()
+	platformHex := hex.EncodeToString(key[:])
+
+	serverAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	serverTel := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	clientTel := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+
+	srv := exec.Command(filepath.Join(bin, "snoopy-server"),
+		"-listen", serverAddr, "-block", "64", "-platform", platformHex,
+		"-telemetry-addr", serverTel)
+	srvOut := &syncBuffer{}
+	srv.Stdout = srvOut
+	srv.Stderr = srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitListening(t, serverAddr)
+	waitListening(t, serverTel)
+
+	// -telemetry-hold keeps the client's endpoint alive after the workload
+	// so the test can scrape it; the client is killed once scraped.
+	client := exec.Command(filepath.Join(bin, "snoopy-client"),
+		"-servers", serverAddr, "-platform", platformHex,
+		"-block", "64", "-objects", "500", "-ops", "40",
+		"-clients", "4", "-epoch", "20ms",
+		"-telemetry-addr", clientTel, "-telemetry-hold", "2m")
+	clientOut := &syncBuffer{}
+	client.Stdout = clientOut
+	client.Stderr = clientOut
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		client.Process.Kill()
+		client.Wait()
+	}()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !bytes.Contains(clientOut.Bytes(), []byte("holding telemetry")) {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never finished its workload:\n%s", clientOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	scrape := func(addr, path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", addr, path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s%s: status %d", addr, path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Client surface: the deployment's epoch engine lives here, so its
+	// metrics carry the core counters and RPC-side transport counters...
+	clientMetrics := scrape(clientTel, "/metrics")
+	for _, want := range []string{
+		"counter core_requests_total 40\n", // exactly -ops, no more, no less
+		"counter transport_retries_total 0\n",
+		"counter transport_rpc_failures_total 0\n",
+		"hist transport_rpc count ",
+		"gauge snoopy_config_suborams 1\n",
+	} {
+		if !strings.Contains(clientMetrics, want) {
+			t.Errorf("client /metrics missing %q:\n%s", want, clientMetrics)
+		}
+	}
+	// ...and its epoch trace records every stage span.
+	clientSpans := scrape(clientTel, "/trace/epochs?n=512")
+	for _, stage := range []string{"stage_a_batch", "stage_b_suboram", "stage_c_match", `"stage": "epoch"`} {
+		if !strings.Contains(clientSpans, stage) {
+			t.Errorf("client /trace/epochs missing stage %q:\n%s", stage, clientSpans)
+		}
+	}
+
+	// Server surface: serving-side transport counters. Replays and stale
+	// rejects exist (so operators can alarm on them) and are zero in a
+	// clean run.
+	serverMetrics := scrape(serverTel, "/metrics")
+	for _, want := range []string{
+		"counter transport_conns_total 1\n",
+		"counter transport_replays_total 0\n",
+		"counter transport_stale_rejects_total 0\n",
+		"counter suboram_batches_total ",
+		"hist transport_batch_serve count ",
+	} {
+		if !strings.Contains(serverMetrics, want) {
+			t.Errorf("server /metrics missing %q:\n%s", want, serverMetrics)
+		}
+	}
+	m := regexp.MustCompile(`counter transport_batches_served_total (\d+)`).FindStringSubmatch(serverMetrics)
+	if m == nil || m[1] == "0" {
+		t.Errorf("server served no batches per its own telemetry:\n%s", serverMetrics)
+	}
+
+	// pprof responds on both surfaces.
+	for _, addr := range []string{clientTel, serverTel} {
+		if idx := scrape(addr, "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+			t.Errorf("pprof index on %s looks wrong:\n%s", addr, idx)
+		}
 	}
 }
 

@@ -26,11 +26,13 @@ import (
 	"sync"
 	"time"
 
+	"snoopy/internal/cluster"
 	"snoopy/internal/core"
 	"snoopy/internal/history"
 	"snoopy/internal/replica"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
+	"snoopy/internal/telemetry"
 )
 
 // Config parameterizes one chaos run. The zero value gets defaults; Seed
@@ -132,6 +134,13 @@ type Result struct {
 	GroupStats []replica.GroupStats
 	// Health is core's final per-partition health snapshot.
 	Health core.HealthStats
+	// SupStats is the failure-detector supervisor's own accounting, and
+	// Telemetry is the final snapshot of the run's telemetry registry
+	// (wired through core, every replica group, and the supervisor). The
+	// telemetry is a mirror of the same events, so the two must agree
+	// exactly — the harness's tests assert it for every seed.
+	SupStats  cluster.Stats
+	Telemetry telemetry.Snapshot
 }
 
 // node is a chaos-controllable partition replica: a real subORAM whose
@@ -200,6 +209,8 @@ type harness struct {
 	sys     *core.System
 	groups  []*replica.Group
 	members [][]*member
+	reg     *telemetry.Registry
+	sup     *cluster.Supervisor
 
 	ops     []history.Op
 	perKey  []int
@@ -271,11 +282,21 @@ func Run(cfg Config) (*Result, error) {
 		h.res.GroupStats = append(h.res.GroupStats, g.Stats())
 	}
 	h.res.Health = h.sys.Health()
+	h.sup.Close()
+	h.res.SupStats = h.sup.Stats()
+	h.res.Telemetry = h.reg.Snapshot(0)
 	return h.res, nil
 }
 
 func (h *harness) build() error {
 	cfg := h.cfg
+	// One registry observes the whole stack; a supervisor (fed from core's
+	// per-epoch health, promotion unused here — groups self-heal) runs its
+	// failure detector alongside, so the soak can check that telemetry's
+	// failover accounting never drifts from the supervisor's own.
+	h.reg = telemetry.NewRegistry()
+	h.sup = cluster.NewSupervisor(cfg.Parts, nil, cluster.Policy{})
+	h.sup.Instrument(h.reg)
 	subs := make([]core.SubORAMClient, cfg.Parts)
 	for p := 0; p < cfg.Parts; p++ {
 		n := cfg.F + cfg.R + 1
@@ -292,6 +313,7 @@ func (h *harness) build() error {
 		}
 		g.SetTimeout(cfg.Timeout)
 		g.SetAutoHeal(cfg.HealAfter)
+		g.SetTelemetry(h.reg)
 		for s := 0; s < cfg.Spares; s++ {
 			g.AddSpare(replica.NewReplica(newNode(cfg.BlockSize)))
 		}
@@ -301,6 +323,7 @@ func (h *harness) build() error {
 	}
 	sys, err := core.NewWithSubORAMs(core.Config{
 		BlockSize: cfg.BlockSize, NumLoadBalancers: 1, Lambda: 32,
+		Telemetry: h.reg,
 	}, subs)
 	if err != nil {
 		return err
@@ -430,6 +453,7 @@ func (h *harness) runEpoch(epoch int) error {
 		pend = append(pend, pendOp{op: op, wait: wait})
 	}
 	h.sys.Flush()
+	h.sup.ObserveHealth(h.sys.Health())
 	for _, p := range pend {
 		v, found, err := p.wait()
 		h.res.Ops++

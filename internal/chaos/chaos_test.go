@@ -25,7 +25,74 @@ func checkRun(t *testing.T, cfg Config) *Result {
 	if res.Ops == 0 {
 		t.Fatalf("seed %d: no operations ran", cfg.Seed)
 	}
+	checkTelemetryAccounting(t, cfg.Seed, res)
 	return res
+}
+
+// checkTelemetryAccounting asserts that the telemetry registry's failover
+// and replication counters match, exactly, the accounting the components
+// keep for themselves (Supervisor.Stats, replica.GroupStats,
+// core.HealthStats). Telemetry is an export path over the same events — any
+// drift means a recording site was added, dropped, or double-fired.
+func checkTelemetryAccounting(t *testing.T, seed int64, res *Result) {
+	t.Helper()
+	c := res.Telemetry.Counters
+
+	if got, want := c["cluster_detector_trips_total"], res.SupStats.Trips; got != want {
+		t.Fatalf("seed %d: telemetry reports %d detector trips, supervisor counted %d", seed, got, want)
+	}
+	if got, want := c["cluster_promotions_total"], res.SupStats.Promotions; got != want {
+		t.Fatalf("seed %d: telemetry reports %d promotions, supervisor counted %d", seed, got, want)
+	}
+	if got, want := c["cluster_promotion_failures_total"], res.SupStats.PromotionFailures; got != want {
+		t.Fatalf("seed %d: telemetry reports %d promotion failures, supervisor counted %d", seed, got, want)
+	}
+	var recoveries uint64
+	for _, h := range res.Telemetry.Histograms {
+		if h.Name == "cluster_time_to_recovery" {
+			recoveries = h.Count
+		}
+	}
+	if got, want := recoveries, uint64(res.SupStats.Recoveries); got != want {
+		t.Fatalf("seed %d: telemetry recorded %d recoveries, supervisor counted %d", seed, got, want)
+	}
+
+	var stale, busy, resyncs, resyncBytes, promos uint64
+	for _, g := range res.GroupStats {
+		stale += g.StaleReplies
+		busy += g.BusySkips
+		resyncs += g.Resyncs
+		resyncBytes += g.ResyncBytes
+		promos += g.Promotions
+	}
+	for name, want := range map[string]uint64{
+		"replica_stale_replies_total": stale,
+		"replica_busy_skips_total":    busy,
+		"replica_resyncs_total":       resyncs,
+		"replica_resync_bytes_total":  resyncBytes,
+		"replica_promotions_total":    promos,
+	} {
+		if got := c[name]; got != want {
+			t.Fatalf("seed %d: telemetry %s=%d, group stats say %d (groups=%+v)",
+				seed, name, got, want, res.GroupStats)
+		}
+	}
+
+	var partFails uint64
+	for _, n := range res.Health.TotalFailures {
+		partFails += n
+	}
+	if got := c["core_partition_epoch_failures_total"]; got != partFails {
+		t.Fatalf("seed %d: telemetry counted %d partition epoch failures, core counted %d",
+			seed, got, partFails)
+	}
+	var failovers uint64
+	for _, n := range res.Health.Failovers {
+		failovers += n
+	}
+	if got := c["core_failovers_total"]; got != failovers {
+		t.Fatalf("seed %d: telemetry counted %d failovers, core counted %d", seed, got, failovers)
+	}
 }
 
 func TestChaosSeededRuns(t *testing.T) {

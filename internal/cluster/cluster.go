@@ -20,6 +20,7 @@ import (
 
 	"snoopy/internal/core"
 	"snoopy/internal/metrics"
+	"snoopy/internal/telemetry"
 )
 
 // Policy holds the failure detector's public deployment parameters. The
@@ -54,6 +55,9 @@ func (p *Policy) fillDefaults() {
 type Detector struct {
 	policy Policy
 	trips  metrics.Counter
+	// telTrips mirrors trips into a telemetry registry when set
+	// (Supervisor.Instrument); nil no-ops.
+	telTrips *telemetry.Counter
 
 	mu     sync.Mutex
 	misses []int
@@ -94,6 +98,7 @@ func (d *Detector) Observe(part int, ok bool) {
 		if d.misses[part] >= d.policy.FailAfter && !d.down[part] {
 			d.down[part] = true
 			d.trips.Inc()
+			d.telTrips.Inc()
 			trip = d.onTrip
 		}
 	}
@@ -169,9 +174,31 @@ type Supervisor struct {
 	promotionFailures metrics.Counter
 	recovery          metrics.Latencies
 
+	// Telemetry mirrors of the counters above, bumped at the same sites;
+	// all nil (no-ops) until Instrument.
+	telPromotions  *telemetry.Counter
+	telPromFails   *telemetry.Counter
+	telRecoveryDur *telemetry.Histogram
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// Instrument mirrors the supervisor's accounting — detector trips,
+// promotions and failed promotions, and the time-to-recovery distribution —
+// into a telemetry registry. Every value is already tracked internally
+// (Stats); Instrument adds an export path, not a new observation, so
+// telemetry-reported failover activity matches Stats exactly (asserted by
+// the chaos harness). Call it before the supervisor is wired into a running
+// system (before Watch / Failover installation).
+func (s *Supervisor) Instrument(reg *telemetry.Registry) {
+	s.det.mu.Lock()
+	s.det.telTrips = reg.Counter("cluster_detector_trips_total")
+	s.det.mu.Unlock()
+	s.telPromotions = reg.Counter("cluster_promotions_total")
+	s.telPromFails = reg.Counter("cluster_promotion_failures_total")
+	s.telRecoveryDur = reg.Histogram("cluster_time_to_recovery", nil)
 }
 
 // NewSupervisor creates a supervisor for parts partitions. promote is the
@@ -204,9 +231,11 @@ func (s *Supervisor) Failover() core.FailoverFunc {
 		repl, err := s.promote(part, old)
 		if err != nil || repl == nil {
 			s.promotionFailures.Inc()
+			s.telPromFails.Inc()
 			return nil, err
 		}
 		s.promotions.Inc()
+		s.telPromotions.Inc()
 		s.det.Observe(part, true)
 		return repl, nil
 	}
@@ -221,6 +250,7 @@ func (d *Detector) declareDown(part int) {
 		d.down[part] = true
 		d.misses[part] = d.policy.FailAfter
 		d.trips.Inc()
+		d.telTrips.Inc()
 		trip = d.onTrip
 	}
 	d.mu.Unlock()
@@ -235,6 +265,7 @@ func (s *Supervisor) OnFailover() func(part int, took time.Duration, err error) 
 	return func(part int, took time.Duration, err error) {
 		if err == nil {
 			s.recovery.Add(took)
+			s.telRecoveryDur.Observe(took)
 		}
 	}
 }

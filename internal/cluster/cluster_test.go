@@ -9,6 +9,7 @@ import (
 	"snoopy/internal/core"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
+	"snoopy/internal/telemetry"
 )
 
 func TestDetectorTripsAtThresholdOnly(t *testing.T) {
@@ -165,12 +166,15 @@ func TestSupervisorDrivesCoreFailover(t *testing.T) {
 		return old.(*crashable).inner, nil
 	}, Policy{FailAfter: 2})
 	defer sup.Close()
+	reg := telemetry.NewRegistry()
+	sup.Instrument(reg)
 
 	sys, err := core.NewWithSubORAMs(core.Config{
 		BlockSize: blockSize, NumLoadBalancers: 1, Lambda: 32,
 		FailoverAfter: sup.Policy().FailAfter,
 		Failover:      sup.Failover(),
 		OnFailover:    sup.OnFailover(),
+		Telemetry:     reg,
 	}, subs)
 	if err != nil {
 		t.Fatal(err)
@@ -220,5 +224,28 @@ func TestSupervisorDrivesCoreFailover(t *testing.T) {
 	st := sup.Stats()
 	if st.Trips < 1 || st.Promotions < 1 || st.Recoveries < 1 {
 		t.Fatalf("outage not accounted: %v", st)
+	}
+
+	// The telemetry mirror must agree exactly with the supervisor's own
+	// accounting of this (real, non-zero) outage.
+	snap := reg.Snapshot(0)
+	if got := snap.Counters["cluster_detector_trips_total"]; got != st.Trips {
+		t.Fatalf("telemetry trips %d != supervisor trips %d", got, st.Trips)
+	}
+	if got := snap.Counters["cluster_promotions_total"]; got != st.Promotions {
+		t.Fatalf("telemetry promotions %d != supervisor promotions %d", got, st.Promotions)
+	}
+	if got := snap.Counters["cluster_promotion_failures_total"]; got != st.PromotionFailures {
+		t.Fatalf("telemetry promotion failures %d != supervisor %d", got, st.PromotionFailures)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "cluster_time_to_recovery" {
+			if h.Count != uint64(st.Recoveries) {
+				t.Fatalf("telemetry recorded %d recoveries, supervisor counted %d", h.Count, st.Recoveries)
+			}
+			if mean := time.Duration(h.SumNS / int64(h.Count)); mean != st.MeanTimeToRecovery {
+				t.Fatalf("telemetry mean time-to-recovery %v != supervisor %v", mean, st.MeanTimeToRecovery)
+			}
+		}
 	}
 }

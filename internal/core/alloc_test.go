@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"snoopy/internal/telemetry"
+)
+
+// TestEpochTelemetryRecordingZeroAlloc guards the exact recording pattern
+// the epoch loop performs — gauge set, counter adds, and one span record per
+// stage (A, per-partition B, C, whole epoch) — against heap allocations,
+// with an access-trace sink attached (the worst case). The data plane's
+// zero-allocation contract (PR 2) must survive instrumentation.
+func TestEpochTelemetryRecordingZeroAlloc(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetTrace(telemetry.NewTraceSink())
+
+	epoch := reg.Gauge("core_epoch")
+	requests := reg.Counter("core_requests_total")
+	overflow := reg.Counter("core_overflow_dropped_total")
+	stA := reg.Stage("stage_a_batch")
+	stB := reg.Stage("stage_b_suboram")
+	stC := reg.Stage("stage_c_match")
+	stE := reg.Stage("epoch")
+
+	var id uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		id++
+		t0 := reg.Now()
+		stA.Record(id, 0, 64, t0, reg.Now())
+		for s := 0; s < 4; s++ {
+			stB.Record(id, s, 64, t0, reg.Now())
+		}
+		stC.Record(id, 0, 32, t0, reg.Now())
+		epoch.Set(int64(id))
+		requests.Add(32)
+		overflow.Add(0)
+		stE.Record(id, -1, 32, t0, reg.Now())
+	})
+	if allocs != 0 {
+		t.Fatalf("epoch telemetry recording allocated %.1f times per run, want 0", allocs)
+	}
+	if requests.Value() == 0 || len(reg.Spans(8)) == 0 {
+		t.Fatal("telemetry not recording — guard is vacuous")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"snoopy/internal/persist"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
+	"snoopy/internal/telemetry"
 )
 
 // SubORAMClient is the interface the system needs from a partition: local
@@ -102,6 +103,21 @@ type Config struct {
 	// time-to-recovery on success), err is nil when a replacement was
 	// promoted.
 	OnFailover func(part int, took time.Duration, err error)
+
+	// Telemetry, when non-nil, records per-epoch stage spans (stage A
+	// batching, per-partition stage B, stage C match/reply, the whole
+	// epoch) and system counters, and is threaded into every component the
+	// system builds (load balancers, local subORAMs, durable wrappers).
+	// Every span tag is a public parameter: epoch number, partition index,
+	// batch size α, request count R. Nil disables recording everywhere.
+	Telemetry *telemetry.Registry
+
+	// TestLBChoiceSeed, when non-zero, seeds the random client→load-balancer
+	// assignment deterministically. That choice is public (paper §4.3:
+	// clients randomly pick a load balancer, and the network adversary sees
+	// which one each contacts); the leakage tests pin it so two runs differ
+	// only in secrets. Production deployments leave it zero.
+	TestLBChoiceSeed int64
 
 	// routeKey pins the load balancers' partition-assignment key; set by
 	// NewLocal when recovering a durable deployment so recovered objects
@@ -244,6 +260,19 @@ type System struct {
 	// recursive Snoopy instance.
 	acl *aclState
 
+	// Telemetry instruments, resolved once at construction; all nil (and
+	// no-ops) when Config.Telemetry is nil.
+	telEpoch     *telemetry.Gauge
+	telRequests  *telemetry.Counter
+	telOverflow  *telemetry.Counter
+	telPartFails *telemetry.Counter
+	telRepairs   *telemetry.Counter
+	telFailovers *telemetry.Counter
+	stStageA     *telemetry.SpanStage
+	stStageB     *telemetry.SpanStage
+	stStageC     *telemetry.SpanStage
+	stEpoch      *telemetry.SpanStage
+
 	// recovered reports whether any durable partition restored persisted
 	// state at startup (Config.DataDir).
 	recovered bool
@@ -276,6 +305,7 @@ func NewLocal(cfg Config) (*System, error) {
 			Workers:   cfg.SubORAMWorkers,
 			Strict:    cfg.Strict,
 			Sealed:    cfg.Sealed,
+			Telemetry: cfg.Telemetry,
 		})
 		if cfg.DataDir == "" {
 			subs[i] = sub
@@ -283,7 +313,7 @@ func NewLocal(cfg Config) (*System, error) {
 		}
 		dur, err := persist.NewDurable(
 			filepath.Join(cfg.DataDir, fmt.Sprintf("part-%03d", i)),
-			sub, persist.Config{BlockSize: cfg.BlockSize})
+			sub, persist.Config{BlockSize: cfg.BlockSize, Telemetry: cfg.Telemetry})
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
@@ -344,11 +374,15 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 			return nil, err
 		}
 	}
+	lbSeed := time.Now().UnixNano()
+	if cfg.TestLBChoiceSeed != 0 {
+		lbSeed = cfg.TestLBChoiceSeed
+	}
 	sys := &System{
 		cfg:    cfg,
 		subs:   subs,
 		closed: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:    rand.New(rand.NewSource(lbSeed)),
 		health: HealthStats{
 			ConsecutiveFailures: make([]int, len(subs)),
 			TotalFailures:       make([]uint64, len(subs)),
@@ -356,7 +390,24 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 			Repairing:           make([]bool, len(subs)),
 		},
 		downSince: make([]time.Time, len(subs)),
+
+		telEpoch:     cfg.Telemetry.Gauge("core_epoch"),
+		telRequests:  cfg.Telemetry.Counter("core_requests_total"),
+		telOverflow:  cfg.Telemetry.Counter("core_overflow_dropped_total"),
+		telPartFails: cfg.Telemetry.Counter("core_partition_epoch_failures_total"),
+		telRepairs:   cfg.Telemetry.Counter("core_repairs_started_total"),
+		telFailovers: cfg.Telemetry.Counter("core_failovers_total"),
+		stStageA:     cfg.Telemetry.Stage("stage_a_batch"),
+		stStageB:     cfg.Telemetry.Stage("stage_b_suboram"),
+		stStageC:     cfg.Telemetry.Stage("stage_c_match"),
+		stEpoch:      cfg.Telemetry.Stage("epoch"),
 	}
+	// The deployment shape is the public configuration every other label is
+	// derived from; export it so an operator can interpret the rest.
+	cfg.Telemetry.Gauge("snoopy_config_lbs").Set(int64(cfg.NumLoadBalancers))
+	cfg.Telemetry.Gauge("snoopy_config_suborams").Set(int64(cfg.NumSubORAMs))
+	cfg.Telemetry.Gauge("snoopy_config_lambda").Set(int64(cfg.Lambda))
+	cfg.Telemetry.Gauge("snoopy_config_block_bytes").Set(int64(cfg.BlockSize))
 	for i := 0; i < cfg.NumLoadBalancers; i++ {
 		sys.lbs = append(sys.lbs, &lbState{
 			lb: loadbalancer.New(loadbalancer.Config{
@@ -364,6 +415,7 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 				NumSubORAMs: cfg.NumSubORAMs,
 				Lambda:      cfg.Lambda,
 				SortWorkers: cfg.SortWorkers,
+				Telemetry:   cfg.Telemetry,
 			}, key),
 		})
 	}
@@ -550,6 +602,7 @@ type lbEpoch struct {
 type epochJob struct {
 	id     uint64
 	t0     time.Time
+	t0tel  int64 // telemetry-clock epoch start (whole-epoch span base)
 	queues [][]pending
 	eps    []lbEpoch
 	denied [][]uint8
@@ -584,7 +637,7 @@ func (sys *System) Flush() {
 func (sys *System) stageA() *epochJob {
 	L := len(sys.lbs)
 	sys.epoch++
-	job := &epochJob{id: sys.epoch, t0: time.Now(), queues: make([][]pending, L)}
+	job := &epochJob{id: sys.epoch, t0: time.Now(), t0tel: sys.cfg.Telemetry.Now(), queues: make([][]pending, L)}
 	for i, st := range sys.lbs {
 		st.mu.Lock()
 		job.queues[i] = st.queue
@@ -604,6 +657,7 @@ func (sys *System) stageA() *epochJob {
 		go func() {
 			defer wg.Done()
 			t := time.Now()
+			ta0 := sys.cfg.Telemetry.Now()
 			q := job.queues[i]
 			reqs := arena.Default.GetRequests(len(q), sys.cfg.BlockSize)
 			for j, p := range q {
@@ -616,6 +670,9 @@ func (sys *System) stageA() *epochJob {
 				ep.droppedKeys = b.DroppedKeys
 			}
 			job.eps[i] = ep
+			// One span per (epoch, load balancer), tagged with the public
+			// per-subORAM batch size α — fires on error paths too.
+			sys.stStageA.Record(job.id, i, ep.perSub, ta0, sys.cfg.Telemetry.Now())
 		}()
 	}
 	wg.Wait()
@@ -647,10 +704,17 @@ func (sys *System) stageB(job *epochJob) {
 		go func() {
 			defer wg.Done()
 			t := time.Now()
+			tb0 := sys.cfg.Telemetry.Now()
+			rows := 0
 			// Record wall time on every exit: a failed partition's (often
 			// deadline-length) stall is real epoch time, and reporting zero
-			// would skew EpochStats exactly when latency matters most.
-			defer func() { job.subWall[s] = time.Since(t) }()
+			// would skew EpochStats exactly when latency matters most. The
+			// span fires once per (epoch, partition) on every exit path,
+			// tagged with the public row count Σα over load balancers.
+			defer func() {
+				job.subWall[s] = time.Since(t)
+				sys.stStageB.Record(job.id, s, rows, tb0, sys.cfg.Telemetry.Now())
+			}()
 			for i := 0; i < L; i++ {
 				if job.eps[i].err != nil || job.eps[i].batches == nil {
 					continue
@@ -660,6 +724,7 @@ func (sys *System) stageB(job *epochJob) {
 					job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
 					return
 				}
+				rows += job.eps[i].perSub
 				job.responses[i][s] = out
 			}
 		}()
@@ -680,10 +745,12 @@ func (sys *System) stageB(job *epochJob) {
 			}
 			sys.health.ConsecutiveFailures[s]++
 			sys.health.TotalFailures[s]++
+			sys.telPartFails.Inc()
 			if sys.cfg.FailoverAfter > 0 && sys.cfg.Failover != nil &&
 				sys.health.ConsecutiveFailures[s] >= sys.cfg.FailoverAfter &&
 				!sys.health.Repairing[s] {
 				sys.health.Repairing[s] = true
+				sys.telRepairs.Inc()
 				sys.repairWG.Add(1)
 				go sys.repair(s, subs[s])
 			}
@@ -718,7 +785,13 @@ func (sys *System) stageC(job *epochJob) {
 		go func() {
 			defer wg.Done()
 			t := time.Now()
-			defer func() { matchWall[i] = time.Since(t) }()
+			tc0 := sys.cfg.Telemetry.Now()
+			// One span per (epoch, load balancer) on every exit path, tagged
+			// with the public per-LB request count.
+			defer func() {
+				matchWall[i] = time.Since(t)
+				sys.stStageC.Record(job.id, i, len(job.queues[i]), tc0, sys.cfg.Telemetry.Now())
+			}()
 			// Whatever path this epoch takes, its pooled request snapshot
 			// and subORAM responses go back to the arena at the end.
 			defer func() {
@@ -850,6 +923,14 @@ func (sys *System) stageC(job *epochJob) {
 		sys.lastEp = st
 	}
 	sys.statsMu.Unlock()
+
+	// Whole-epoch telemetry: fires exactly once per epoch, unconditionally.
+	// R (the real request count) is public — the adversary sees every client
+	// message arrive — and the overflow count is already in EpochStats.
+	sys.telEpoch.Set(int64(job.id))
+	sys.telRequests.Add(uint64(st.Requests))
+	sys.telOverflow.Add(uint64(st.Dropped))
+	sys.stEpoch.Record(job.id, -1, st.Requests, job.t0tel, sys.cfg.Telemetry.Now())
 }
 
 // snapshotSubs returns a stable view of the partition clients for one
@@ -883,6 +964,7 @@ func (sys *System) repair(s int, old SubORAMClient) {
 	sys.subsMu.Lock()
 	sys.subs[s] = repl
 	sys.subsMu.Unlock()
+	sys.telFailovers.Inc()
 	sys.statsMu.Lock()
 	sys.health.ConsecutiveFailures[s] = 0
 	sys.health.Failovers[s]++

@@ -7,6 +7,7 @@ import (
 	"snoopy/internal/arena"
 	"snoopy/internal/crypt"
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 )
 
 // TestMakeBatchesZeroAllocSteadyState is the tentpole guard: with a warm
@@ -73,5 +74,53 @@ func TestMatchResponsesZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm MatchResponses allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestEpochZeroAllocWithTelemetry: both halves of the instrumented epoch —
+// batch building and response matching — stay allocation-free with a
+// telemetry registry (and its access-trace sink, the worst case) wired in.
+func TestEpochZeroAllocWithTelemetry(t *testing.T) {
+	pool := arena.NewPool()
+	reg := telemetry.NewRegistry()
+	reg.SetTrace(telemetry.NewTraceSink())
+	lb := New(Config{
+		BlockSize: 32, NumSubORAMs: 4, Lambda: 64, SortWorkers: 1,
+		Pool: pool, Telemetry: reg,
+	}, crypt.MustNewKey())
+
+	rng := rand.New(rand.NewSource(54))
+	reqs := store.NewRequests(256, 32)
+	for i := 0; i < reqs.Len(); i++ {
+		reqs.SetRow(i, store.OpRead, rng.Uint64()%1000, 0, uint64(i), uint64(i), nil)
+	}
+	warm := func() {
+		b, err := lb.MakeBatches(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := b.All.Clone()
+		b.Release()
+		m, err := lb.MatchResponses(resp, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.PutRequests(m)
+		pool.PutRequests(resp)
+	}
+	warm()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		b, err := lb.MakeBatches(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented warm MakeBatches allocated %.1f times per run, want 0", allocs)
+	}
+	if reg.Counter("lb_batches_total").Value() == 0 {
+		t.Fatal("telemetry not recording — guard is vacuous")
 	}
 }

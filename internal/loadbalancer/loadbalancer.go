@@ -19,6 +19,7 @@ import (
 	"snoopy/internal/crypt"
 	"snoopy/internal/obliv"
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 	"snoopy/internal/trace"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	// Pool supplies per-epoch working memory (batch scratch, matched
 	// responses). Nil means arena.Default.
 	Pool *arena.Pool
+	// Telemetry, when non-nil, records batch-assembly and response-matching
+	// durations plus per-epoch counters. Every recording site fires once
+	// per call with public payloads only (batch sizes, the already-public
+	// Theorem-3 overflow count); nil disables recording at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // Stats records where an epoch's load-balancer time went (the "Load
@@ -58,6 +64,14 @@ type LoadBalancer struct {
 
 	statsMu sync.Mutex
 	last    Stats
+
+	// Telemetry instruments, resolved once at construction so recording on
+	// the epoch hot path does no registry lookups. All nil (and therefore
+	// no-ops) when Config.Telemetry is nil.
+	telMakeBatch *telemetry.Histogram
+	telMatch     *telemetry.Histogram
+	telBatches   *telemetry.Counter
+	telDropped   *telemetry.Counter
 }
 
 // New creates a load balancer. key is the long-term object→subORAM hash key
@@ -70,7 +84,14 @@ func New(cfg Config, key crypt.Key) *LoadBalancer {
 	if cfg.Lambda <= 0 {
 		cfg.Lambda = 128
 	}
-	return &LoadBalancer{cfg: cfg, hasher: crypt.NewHasher(key)}
+	return &LoadBalancer{
+		cfg:          cfg,
+		hasher:       crypt.NewHasher(key),
+		telMakeBatch: cfg.Telemetry.Histogram("lb_make_batch", nil),
+		telMatch:     cfg.Telemetry.Histogram("lb_match", nil),
+		telBatches:   cfg.Telemetry.Counter("lb_batches_total"),
+		telDropped:   cfg.Telemetry.Counter("lb_overflow_dropped_total"),
+	}
 }
 
 // pool returns the configured arena, defaulting to the process-wide one.
@@ -152,6 +173,7 @@ func (b *Batches) Release() {
 // to its routing cookie. reqs is not modified; duplicates are allowed.
 func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	t0 := time.Now()
+	tt0 := lb.cfg.Telemetry.Now()
 
 	if reqs.BlockSize != lb.cfg.BlockSize {
 		return nil, fmt.Errorf("loadbalancer: block size %d != %d", reqs.BlockSize, lb.cfg.BlockSize)
@@ -233,6 +255,12 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	lb.statsMu.Lock()
 	lb.last.MakeBatch = time.Since(t0)
 	lb.statsMu.Unlock()
+	// Fires once per call, unconditionally: the duration is adversary-
+	// visible timing, and the overflow count is already public
+	// (EpochStats.Dropped; a negligible-probability, client-visible event).
+	lb.telMakeBatch.Observe(time.Duration(lb.cfg.Telemetry.Now() - tt0))
+	lb.telBatches.Inc()
+	lb.telDropped.Add(uint64(dropped))
 	return b, nil
 }
 
@@ -245,6 +273,7 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 // storage is drawn from the arena; the caller owns it and may release it.
 func (lb *LoadBalancer) MatchResponses(responses, reqs *store.Requests) (*store.Requests, error) {
 	t0 := time.Now()
+	tt0 := lb.cfg.Telemetry.Now()
 
 	if responses.BlockSize != lb.cfg.BlockSize || reqs.BlockSize != lb.cfg.BlockSize {
 		return nil, fmt.Errorf("loadbalancer: block size mismatch")
@@ -292,6 +321,7 @@ func (lb *LoadBalancer) MatchResponses(responses, reqs *store.Requests) (*store.
 	lb.statsMu.Lock()
 	lb.last.Match = time.Since(t0)
 	lb.statsMu.Unlock()
+	lb.telMatch.Observe(time.Duration(lb.cfg.Telemetry.Now() - tt0))
 	return x, nil
 }
 

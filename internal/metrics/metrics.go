@@ -89,11 +89,59 @@ func (l *Latencies) Percentile(p float64) time.Duration {
 // Max returns the largest sample.
 func (l *Latencies) Max() time.Duration { return l.Percentile(100) }
 
-// String summarizes the distribution.
-func (l *Latencies) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-		l.Count(), l.Mean(), l.Percentile(50), l.Percentile(99), l.Max())
+// LatencySnapshot is a self-consistent summary of a distribution: every
+// field is computed from the same sample set, under one lock acquisition.
+type LatencySnapshot struct {
+	Count               int
+	Mean, P50, P99, Max time.Duration
 }
+
+// Snapshot summarizes the distribution atomically. Unlike calling Count /
+// Mean / Percentile in sequence — each of which locks separately, so
+// concurrent Adds land between them and the summary mixes sample sets —
+// every field here describes the same instant.
+func (l *Latencies) Snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.samples)
+	if n == 0 {
+		return LatencySnapshot{}
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	rank := func(p float64) time.Duration {
+		r := int(math.Ceil(p / 100 * float64(n)))
+		if r < 1 {
+			r = 1
+		}
+		if r > n {
+			r = n
+		}
+		return l.samples[r-1]
+	}
+	return LatencySnapshot{
+		Count: n,
+		Mean:  sum / time.Duration(n),
+		P50:   rank(50),
+		P99:   rank(99),
+		Max:   l.samples[n-1],
+	}
+}
+
+// String formats the snapshot.
+func (s LatencySnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// String summarizes the distribution from one consistent snapshot.
+func (l *Latencies) String() string { return l.Snapshot().String() }
 
 // Throughput measures completed operations over a wall-clock window. The
 // zero value is usable: the window opens at the first Done call.

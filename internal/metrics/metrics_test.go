@@ -91,6 +91,91 @@ func TestLatenciesConcurrent(t *testing.T) {
 	}
 }
 
+// TestLatenciesSnapshotConsistency: a Snapshot's fields all describe one
+// sample set. The old String path locked once per statistic, so a snapshot
+// taken while writers were adding samples could report a count from one set
+// and percentiles from another; these invariants then failed.
+func TestLatenciesSnapshotConsistency(t *testing.T) {
+	var l Latencies
+	if (l.Snapshot() != LatencySnapshot{}) {
+		t.Fatal("empty snapshot should be zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	s := l.Snapshot()
+	want := LatencySnapshot{
+		Count: 100, Mean: 50500 * time.Microsecond,
+		P50: 50 * time.Millisecond, P99: 99 * time.Millisecond, Max: 100 * time.Millisecond,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	if s.String() != l.String() {
+		t.Fatalf("String drifted: %q vs %q", s.String(), l.String())
+	}
+}
+
+// TestLatenciesSnapshotUnderConcurrentAdd is the -race regression test for
+// the export path: readers snapshot (and String, which sorts) while writers
+// add. Every snapshot must be internally consistent — ordered percentiles,
+// mean within the sample range, monotone counts — which only holds when the
+// whole summary is computed under one lock.
+func TestLatenciesSnapshotUnderConcurrentAdd(t *testing.T) {
+	var l Latencies
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 1; i <= 2000; i++ {
+				// Values span [1ms, 7ms]; every statistic must stay inside.
+				l.Add(time.Duration(1+(w*2000+i)%7) * time.Millisecond)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		prev := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := l.Snapshot()
+			_ = l.String()
+			if s.Count < prev {
+				t.Errorf("count went backwards: %d -> %d", prev, s.Count)
+				return
+			}
+			prev = s.Count
+			if s.Count == 0 {
+				continue
+			}
+			if s.P50 > s.P99 || s.P99 > s.Max {
+				t.Errorf("unordered percentiles: %+v", s)
+				return
+			}
+			if s.Mean < time.Millisecond || s.Mean > 7*time.Millisecond || s.Max > 7*time.Millisecond {
+				t.Errorf("statistics outside sample range: %+v", s)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if got := l.Count(); got != 8000 {
+		t.Fatalf("lost samples: %d", got)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	th := NewThroughput()
 	th.Done(500)

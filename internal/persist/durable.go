@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"snoopy/internal/crypt"
 	"snoopy/internal/replica"
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 	"snoopy/internal/trace"
 )
 
@@ -55,6 +57,11 @@ type Config struct {
 	// Rec, when non-nil, records the host-visible I/O trace (offset,
 	// length of every file read/write) for the obliviousness tests.
 	Rec *trace.Recorder
+	// Telemetry, when non-nil, records WAL-append latency and epoch/
+	// snapshot counters. Recording fires once per batch / snapshot with no
+	// request-dependent payloads (WAL records are fixed-shape already); nil
+	// disables it.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -90,6 +97,11 @@ type Durable struct {
 	snapEpoch uint64 // epoch of the on-disk snapshot
 	recovered bool
 	replayed  int // WAL epochs replayed during recovery (observability)
+
+	// Telemetry instruments; all nil (no-ops) when Config.Telemetry is nil.
+	telWALAppend *telemetry.Histogram
+	telWALEpochs *telemetry.Counter
+	telSnapshots *telemetry.Counter
 }
 
 // NewDurable opens (or creates) the partition directory and wraps inner.
@@ -108,7 +120,12 @@ func NewDurable(path string, inner Partition, cfg Config) (*Durable, error) {
 	if err != nil {
 		return nil, err
 	}
-	dur := &Durable{cfg: cfg, inner: inner, d: d, ctr: ctr}
+	dur := &Durable{
+		cfg: cfg, inner: inner, d: d, ctr: ctr,
+		telWALAppend: cfg.Telemetry.Histogram("persist_wal_append", nil),
+		telWALEpochs: cfg.Telemetry.Counter("persist_wal_epochs_total"),
+		telSnapshots: cfg.Telemetry.Counter("persist_snapshots_total"),
+	}
 
 	epoch := ctr.Current()
 	snapEpoch, ids, data, blockSize, err := d.readSnapshot()
@@ -162,6 +179,7 @@ func NewDurable(path string, inner Partition, cfg Config) (*Durable, error) {
 	default:
 		return nil, err
 	}
+	cfg.Telemetry.Counter("persist_recovered_epochs_total").Add(uint64(dur.replayed))
 	return dur, nil
 }
 
@@ -251,12 +269,18 @@ func (dur *Durable) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 		return nil, err
 	}
 	epoch := dur.ctr.Current() + 1
+	tw0 := dur.cfg.Telemetry.Now()
 	if err := dur.d.appendWAL(dur.wal, &dur.walSize, epoch, reqs, dur.cfg.WALRows, dur.cfg.BlockSize); err != nil {
 		return nil, err
 	}
 	if err := dur.wal.Sync(); err != nil {
 		return nil, err
 	}
+	// Once per acknowledged batch: the sealed append + fsync that gates the
+	// response. WAL records are fixed-shape (padded to WALRows), so neither
+	// the duration's cause nor the counter carries request contents.
+	dur.telWALAppend.Observe(time.Duration(dur.cfg.Telemetry.Now() - tw0))
+	dur.telWALEpochs.Inc()
 	dur.ctr.Increment()
 	if err := dur.ctr.Err(); err != nil {
 		return nil, fmt.Errorf("persist: epoch counter lost durability: %w", err)
@@ -292,6 +316,7 @@ func (dur *Durable) snapshotLocked(ids []uint64, data []byte) error {
 		return err
 	}
 	dur.d.rec.Record(trace.KindFileWrite, 0, 0) // WAL reset, shape-only event
+	dur.telSnapshots.Inc()
 	dur.walSize = 0
 	dur.walEpochs = 0
 	dur.snapEpoch = epoch

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 )
 
 // Client is the subORAM interface being replicated (kept structural to
@@ -172,6 +173,28 @@ type Group struct {
 	initIDs   []uint64
 	initData  []byte
 	stats     GroupStats
+
+	// Telemetry counters mirroring GroupStats, bumped at the same sites;
+	// all nil (no-ops) until SetTelemetry.
+	telStale       *telemetry.Counter
+	telBusy        *telemetry.Counter
+	telResyncs     *telemetry.Counter
+	telResyncBytes *telemetry.Counter
+	telPromotions  *telemetry.Counter
+}
+
+// SetTelemetry mirrors the group's failure-handling counters (stale
+// replies, busy skips, resyncs and bytes transferred, promotions) into a
+// telemetry registry. Every event already appears in GroupStats; this adds
+// no new observation, only an export path.
+func (g *Group) SetTelemetry(reg *telemetry.Registry) {
+	g.gmu.Lock()
+	g.telStale = reg.Counter("replica_stale_replies_total")
+	g.telBusy = reg.Counter("replica_busy_skips_total")
+	g.telResyncs = reg.Counter("replica_resyncs_total")
+	g.telResyncBytes = reg.Counter("replica_resync_bytes_total")
+	g.telPromotions = reg.Counter("replica_promotions_total")
+	g.gmu.Unlock()
 }
 
 // SetTimeout bounds each replica's per-batch reply time; a replica that
@@ -334,8 +357,10 @@ func (g *Group) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 			fresh = append(fresh, rp.out)
 		case rp.err == nil:
 			g.stats.StaleReplies++
+			g.telStale.Inc()
 		case rp.busy:
 			g.stats.BusySkips++
+			g.telBusy.Inc()
 		}
 		// Membership may have changed since the snapshot (concurrent
 		// promotion); only account members still in place.
@@ -445,6 +470,8 @@ func (g *Group) resyncMember(rep *Replica, ids []uint64, data []byte) (int, bool
 	g.stats.Resyncs++
 	g.stats.ResyncBytes += uint64(len(data))
 	g.stats.ResyncEpochs += lag
+	g.telResyncs.Inc()
+	g.telResyncBytes.Add(uint64(len(data)))
 	g.gmu.Unlock()
 	return len(data), true
 }
@@ -503,6 +530,7 @@ func (g *Group) Promote(i int) error {
 	g.replicas[i] = spare
 	g.misses[i] = 0
 	g.stats.Promotions++
+	g.telPromotions.Inc()
 	g.stats.Spares = len(g.spares)
 	g.gmu.Unlock()
 	return nil

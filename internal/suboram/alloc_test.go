@@ -6,6 +6,7 @@ import (
 
 	"snoopy/internal/arena"
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 )
 
 // TestBatchAccessZeroAllocSteadyState: with a warm arena, processing a
@@ -50,5 +51,51 @@ func TestBatchAccessZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm BatchAccess allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBatchAccessZeroAllocWithTelemetry: wiring a telemetry registry — with
+// an access-trace sink attached, the worst case — must not reintroduce
+// allocations into the warm batch path. Observing histograms, bumping
+// counters, and recording stage timings are all allocation-free by design.
+func TestBatchAccessZeroAllocWithTelemetry(t *testing.T) {
+	pool := arena.NewPool()
+	const block = 32
+	reg := telemetry.NewRegistry()
+	reg.SetTrace(telemetry.NewTraceSink())
+	sub := New(Config{BlockSize: block, Workers: 1, Pool: pool, Telemetry: reg})
+
+	nObj := 512
+	ids := make([]uint64, nObj)
+	data := make([]byte, nObj*block)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if err := sub.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := store.NewRequests(64, block)
+	for i := 0; i < reqs.Len(); i++ {
+		reqs.SetRow(i, store.OpRead, uint64(i), 0, uint64(i), uint64(i), nil)
+	}
+	out, err := sub.BatchAccess(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PutRequests(out)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		out, err := sub.BatchAccess(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.PutRequests(out)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented warm BatchAccess allocated %.1f times per run, want 0", allocs)
+	}
+	if reg.Counter("suboram_batches_total").Value() == 0 {
+		t.Fatal("telemetry not recording — guard is vacuous")
 	}
 }

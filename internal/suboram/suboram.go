@@ -24,6 +24,7 @@ import (
 	"snoopy/internal/obliv"
 	"snoopy/internal/ohash"
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 	"snoopy/internal/trace"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	// Pool supplies per-batch working memory (response sets, worker table
 	// copies). Nil means arena.Default.
 	Pool *arena.Pool
+	// Telemetry, when non-nil, records build/scan/extract durations and
+	// batch/row counters. One recording per batch, payloads are the public
+	// padded batch size α — never request contents; nil disables recording.
+	Telemetry *telemetry.Registry
 }
 
 // Stats reports where a batch spent its time (paper Fig. 12's "SubORAM
@@ -86,6 +91,14 @@ type SubORAM struct {
 	// scan workers run while mu is held by BatchAccess.
 	sealedMu   sync.Mutex
 	sealedBufs [][]byte
+
+	// Telemetry instruments, resolved once at construction; all nil (and
+	// no-ops) when Config.Telemetry is nil.
+	telBuild   *telemetry.Histogram
+	telScan    *telemetry.Histogram
+	telExtract *telemetry.Histogram
+	telBatches *telemetry.Counter
+	telRows    *telemetry.Counter
 }
 
 // takeSealedBufs pops n block buffers off the sealed-scan free list,
@@ -125,9 +138,14 @@ func New(cfg Config) *SubORAM {
 	hp.Rec = cfg.Rec
 	hp.Pool = cfg.Pool
 	return &SubORAM{
-		cfg:     cfg,
-		builder: ohash.NewBuilder(hp),
-		zeroBlk: make([]byte, cfg.BlockSize),
+		cfg:        cfg,
+		builder:    ohash.NewBuilder(hp),
+		zeroBlk:    make([]byte, cfg.BlockSize),
+		telBuild:   cfg.Telemetry.Histogram("suboram_build", nil),
+		telScan:    cfg.Telemetry.Histogram("suboram_scan", nil),
+		telExtract: cfg.Telemetry.Histogram("suboram_extract", nil),
+		telBatches: cfg.Telemetry.Counter("suboram_batches_total"),
+		telRows:    cfg.Telemetry.Counter("suboram_rows_total"),
 	}
 }
 
@@ -219,6 +237,7 @@ func (s *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 
 	var st Stats
 	t0 := time.Now()
+	tt0 := s.cfg.Telemetry.Now()
 	var table *ohash.Table
 	var err error
 	if s.cfg.TestHashKeys != nil {
@@ -232,6 +251,8 @@ func (s *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 		return nil, err
 	}
 	st.Build = time.Since(t0)
+	tt1 := s.cfg.Telemetry.Now()
+	s.telBuild.Observe(time.Duration(tt1 - tt0))
 
 	t0 = time.Now()
 	if err := s.scan(table); err != nil {
@@ -245,11 +266,18 @@ func (s *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 		}
 	}
 	st.Scan = time.Since(t0)
+	tt2 := s.cfg.Telemetry.Now()
+	s.telScan.Observe(time.Duration(tt2 - tt1))
 
 	t0 = time.Now()
 	out := table.Extract()
 	st.Extract = time.Since(t0)
 	s.last = st
+	// One recording per batch; the row payload is the public padded batch
+	// size α, identical across workloads with the same public parameters.
+	s.telExtract.Observe(time.Duration(s.cfg.Telemetry.Now() - tt2))
+	s.telBatches.Inc()
+	s.telRows.Add(uint64(reqs.Len()))
 	return out, nil
 }
 

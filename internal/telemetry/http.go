@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DefaultTraceSpans is how many spans /trace/epochs returns when the
+// request does not specify ?n=.
+const DefaultTraceSpans = 256
+
+// Handler returns the operator surface for a registry:
+//
+//	/metrics         plain-text counters, gauges, histogram buckets
+//	/trace/epochs    last-N epoch stage spans as JSON (?n= overrides N)
+//	/debug/pprof/    the standard net/http/pprof index and profiles
+//
+// Everything served is derived from the registry, whose contents are a
+// function of public configuration only — the surface is safe to expose to
+// an operator who must not learn request contents.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteMetrics(w)
+	})
+	mux.HandleFunc("/trace/epochs", func(w http.ResponseWriter, req *http.Request) {
+		n := DefaultTraceSpans
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		spans := reg.Spans(n)
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) until the returned shutdown
+// function is called. It returns the bound address (useful with ":0").
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

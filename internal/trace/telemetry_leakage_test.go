@@ -1,0 +1,258 @@
+// Telemetry leakage tests: the observability layer must not reinstate the
+// side channel the store closes. Two full deployments run workloads that are
+// identical in every public dimension (request count per epoch, epoch count,
+// configuration) but differ in every secret one — which keys are loaded,
+// which keys are accessed (including the duplicate pattern the load balancer
+// dedupes), and what values are written. The telemetry access trace (every
+// recording-site invocation with its payloads), the exported /metrics bytes,
+// and the exported /trace/epochs bytes must come out identical.
+//
+// The registry clock is stubbed to zero so durations cannot differ between
+// runs for scheduling reasons; what remains — which instruments exist, how
+// often each site fires, and every recorded payload — is exactly the part
+// that must be a function of public configuration only.
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"snoopy/internal/core"
+	"snoopy/internal/telemetry"
+)
+
+// telemetryWorkload drives a deployment with secrets derived from seed:
+// epochs × perEpoch requests, half reads, half writes, with duplicate keys
+// sprinkled in (dedup depth is secret). Returns the exported /metrics body,
+// the /trace/epochs body, and the raw recording-site trace.
+func telemetryWorkload(t *testing.T, cfg core.Config, seed int64, epochs, perEpoch int) ([]byte, []byte, *telemetry.TraceSink) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	reg := telemetry.NewRegistry()
+	reg.SetClock(func() int64 { return 0 })
+	sink := telemetry.NewTraceSink()
+	reg.SetTrace(sink)
+	cfg.Telemetry = reg
+
+	sys, err := core.NewLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Secret object set: same size both runs, different keys and values.
+	const nObjects = 128
+	ids := make([]uint64, nObjects)
+	perm := rng.Perm(nObjects * 64)
+	for i := range ids {
+		ids[i] = uint64(perm[i])
+	}
+	data := make([]byte, nObjects*cfg.BlockSize)
+	rng.Read(data)
+	if err := sys.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	for e := 0; e < epochs; e++ {
+		waits := make([]func() ([]byte, bool, error), 0, perEpoch)
+		var last uint64
+		for i := 0; i < perEpoch; i++ {
+			// Secret key choice: loaded keys, missing keys, and duplicates
+			// (collapsed by the oblivious dedup) in a seed-dependent mix.
+			key := ids[rng.Intn(nObjects)]
+			switch rng.Intn(4) {
+			case 0:
+				key = uint64(rng.Intn(1 << 20)) // likely not loaded
+			case 1:
+				if i > 0 {
+					key = last // duplicate within the epoch
+				}
+			}
+			last = key
+			var w func() ([]byte, bool, error)
+			var err error
+			if i%2 == 0 {
+				w, err = sys.ReadAsync(key)
+			} else {
+				secret := make([]byte, cfg.BlockSize)
+				rng.Read(secret)
+				w, err = sys.WriteAsync(key, secret)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			waits = append(waits, w)
+		}
+		sys.Flush()
+		for _, w := range waits {
+			if _, _, err := w(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Export through the real HTTP operator surface, not just the internal
+	// snapshot: these are the bytes an observer of the endpoint sees.
+	h := telemetry.Handler(reg)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, httptest.NewRequest("GET", "/metrics", nil))
+	if mrec.Code != 200 {
+		t.Fatalf("/metrics status %d", mrec.Code)
+	}
+	trec := httptest.NewRecorder()
+	h.ServeHTTP(trec, httptest.NewRequest("GET", "/trace/epochs?n=1024", nil))
+	if trec.Code != 200 {
+		t.Fatalf("/trace/epochs status %d", trec.Code)
+	}
+	return mrec.Body.Bytes(), trec.Body.Bytes(), sink
+}
+
+// diffLines pinpoints the first differing line for a readable failure.
+func diffLines(t *testing.T, what string, a, b []byte) {
+	t.Helper()
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Fatalf("%s differs at line %d:\n  run A: %s\n  run B: %s", what, i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s differs in length: %d vs %d lines", what, len(al), len(bl))
+}
+
+func assertTelemetryIndependent(t *testing.T, cfg core.Config, epochs, perEpoch int) {
+	t.Helper()
+	metricsA, spansA, sinkA := telemetryWorkload(t, cfg, 1001, epochs, perEpoch)
+	metricsB, spansB, sinkB := telemetryWorkload(t, cfg, 2002, epochs, perEpoch)
+
+	if sinkA.Count() == 0 {
+		t.Fatal("telemetry trace captured nothing — instrumentation broken")
+	}
+	if !bytes.Equal(metricsA, metricsB) {
+		diffLines(t, "/metrics output", metricsA, metricsB)
+	}
+	if !bytes.Equal(spansA, spansB) {
+		diffLines(t, "/trace/epochs output", spansA, spansB)
+	}
+	if !telemetry.EqualTraces(sinkA, sinkB) {
+		t.Fatalf("telemetry access trace depends on secrets (%d vs %d events)",
+			sinkA.Count(), sinkB.Count())
+	}
+}
+
+// TestTelemetryTraceIndependentOfSecretsSequential: single load balancer,
+// single partition, durable (so the persist WAL instruments are exercised),
+// fully sequential workers — the strictest byte-for-byte comparison.
+func TestTelemetryTraceIndependentOfSecretsSequential(t *testing.T) {
+	run := func(seed int64, dir string) ([]byte, []byte, *telemetry.TraceSink) {
+		return telemetryWorkload(t, core.Config{
+			BlockSize:        block,
+			NumLoadBalancers: 1,
+			NumSubORAMs:      1,
+			Lambda:           32,
+			SortWorkers:      1,
+			SubORAMWorkers:   1,
+			DataDir:          dir,
+		}, seed, 3, 24)
+	}
+	metricsA, spansA, sinkA := run(1001, t.TempDir())
+	metricsB, spansB, sinkB := run(2002, t.TempDir())
+	if sinkA.Count() == 0 {
+		t.Fatal("telemetry trace captured nothing — instrumentation broken")
+	}
+	if !bytes.Equal(metricsA, metricsB) {
+		diffLines(t, "/metrics output", metricsA, metricsB)
+	}
+	if !bytes.Equal(spansA, spansB) {
+		diffLines(t, "/trace/epochs output", spansA, spansB)
+	}
+	if !telemetry.EqualTraces(sinkA, sinkB) {
+		t.Fatalf("telemetry access trace depends on secrets (%d vs %d events)",
+			sinkA.Count(), sinkB.Count())
+	}
+}
+
+// TestTelemetryTraceIndependentOfSecretsParallel: the production shape —
+// multiple load balancers and partitions, parallel workers. Goroutine
+// interleaving may reorder recordings between runs, but the canonical span
+// ordering and the per-site multiset trace digest must still match exactly.
+func TestTelemetryTraceIndependentOfSecretsParallel(t *testing.T) {
+	assertTelemetryIndependent(t, core.Config{
+		BlockSize:        block,
+		NumLoadBalancers: 2,
+		NumSubORAMs:      4,
+		Lambda:           32,
+		SortWorkers:      2,
+		SubORAMWorkers:   2,
+		// Pin the public client→LB assignment so both runs present the
+		// same per-LB request counts (that assignment is visible to the
+		// network adversary; only the secrets may differ between runs).
+		TestLBChoiceSeed: 99,
+	}, 4, 48)
+}
+
+// TestTelemetrySnapshotIndependentOfSecrets: the programmatic export
+// (Registry.Snapshot, what snoopy-bench writes to BENCH_observability.json)
+// is as content-independent as the HTTP surface.
+func TestTelemetrySnapshotIndependentOfSecrets(t *testing.T) {
+	cfg := core.Config{
+		BlockSize:        block,
+		NumLoadBalancers: 1,
+		NumSubORAMs:      2,
+		Lambda:           32,
+		SortWorkers:      1,
+		SubORAMWorkers:   1,
+	}
+	runSnap := func(seed int64) telemetry.Snapshot {
+		reg := telemetry.NewRegistry()
+		reg.SetClock(func() int64 { return 0 })
+		c := cfg
+		c.Telemetry = reg
+		sys, err := core.NewLocal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		rng := rand.New(rand.NewSource(seed))
+		ids := make([]uint64, 64)
+		for i := range ids {
+			ids[i] = uint64(rng.Intn(1<<30)*64 + i) // distinct, secret
+		}
+		data := make([]byte, 64*block)
+		rng.Read(data)
+		if err := sys.Init(ids, data); err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 2; e++ {
+			waits := make([]func() ([]byte, bool, error), 0, 16)
+			for i := 0; i < 16; i++ {
+				w, err := sys.WriteAsync(ids[rng.Intn(len(ids))], []byte{byte(rng.Intn(256))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				waits = append(waits, w)
+			}
+			sys.Flush()
+			for _, w := range waits {
+				if _, _, err := w(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return reg.Snapshot(256)
+	}
+	a, b := runSnap(7), runSnap(8)
+	if len(a.Counters) == 0 || len(a.Spans) == 0 {
+		t.Fatal("snapshot captured nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshot depends on secrets:\nA: %+v\nB: %+v", a, b)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
 	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
 	"snoopy/internal/wirecode"
 )
 
@@ -68,6 +69,13 @@ const deliveryTagLen = 16
 
 // ErrClosed is returned for RPCs on a RemoteSubORAM after Close.
 var ErrClosed = errors.New("transport: connection closed")
+
+// ErrStale marks a batch delivery whose (lbID, seq) tag is older than the
+// last tag the server applied for that load balancer — it can no longer be
+// answered exactly-once, so it is rejected rather than re-applied. Distinct
+// from partition errors so the server's telemetry can count stale rejects
+// separately from real failures.
+var ErrStale = errors.New("transport: stale batch delivery")
 
 // RemoteError is an application-level error reported by the server's
 // partition (as opposed to a connection failure). RemoteErrors are never
@@ -102,6 +110,11 @@ type Options struct {
 	// Dialer, when non-nil, replaces net.DialTimeout — fault-injection
 	// tests wrap connections here.
 	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// Telemetry, when non-nil, records client-side RPC latency and
+	// retry/reconnect/failure counters. Recording sites fire per RPC and
+	// per retry attempt — a function of the public epoch schedule and of
+	// connection failures the network adversary observes directly.
+	Telemetry *telemetry.Registry
 
 	maxRetriesSet bool // distinguishes MaxRetries 0 = default from "no retries"
 }
@@ -357,6 +370,26 @@ type ServeOptions struct {
 	// ServeSubORAM incarnations (a restarted listener in the same process).
 	// Nil creates a fresh cache.
 	Replay *ReplayCache
+	// Telemetry, when non-nil, records server-side serving counters
+	// (connections, batches, replays, stale rejects, pings, inits) and
+	// batch service latency. Every site fires once per protocol message —
+	// events the host already observes on the wire.
+	Telemetry *telemetry.Registry
+
+	tel serveTel // instruments resolved by withDefaults
+}
+
+// serveTel holds the server-side instruments, resolved once per listener so
+// the serve loop does no registry lookups. All nil (no-ops) without a
+// registry.
+type serveTel struct {
+	conns    *telemetry.Counter
+	batches  *telemetry.Counter
+	replays  *telemetry.Counter
+	stale    *telemetry.Counter
+	pings    *telemetry.Counter
+	inits    *telemetry.Counter
+	batchDur *telemetry.Histogram
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -368,6 +401,15 @@ func (o ServeOptions) withDefaults() ServeOptions {
 	}
 	if o.Replay == nil {
 		o.Replay = NewReplayCache()
+	}
+	o.tel = serveTel{
+		conns:    o.Telemetry.Counter("transport_conns_total"),
+		batches:  o.Telemetry.Counter("transport_batches_served_total"),
+		replays:  o.Telemetry.Counter("transport_replays_total"),
+		stale:    o.Telemetry.Counter("transport_stale_rejects_total"),
+		pings:    o.Telemetry.Counter("transport_pings_total"),
+		inits:    o.Telemetry.Counter("transport_init_total"),
+		batchDur: o.Telemetry.Histogram("transport_batch_serve", nil),
 	}
 	return o
 }
@@ -416,7 +458,7 @@ func (rc *ReplayCache) apply(sub Partition, m *message) (*store.Requests, bool, 
 			return e.resp, true, nil
 		}
 		if m.seq < e.seq {
-			return nil, false, fmt.Errorf("stale batch %d for lb %#x (last applied %d)", m.seq, m.lbID, e.seq)
+			return nil, false, fmt.Errorf("%w: batch %d for lb %#x (last applied %d)", ErrStale, m.seq, m.lbID, e.seq)
 		}
 	}
 	out, err := sub.BatchAccess(m.reqs)
@@ -485,6 +527,7 @@ func ServeSubORAMOptions(l net.Listener, sub Partition, platform *enclave.Platfo
 				return
 			}
 			conn.SetDeadline(time.Time{})
+			opts.tel.conns.Inc()
 			serveConn(sc, sub, opts)
 		}()
 	}
@@ -506,10 +549,12 @@ func serveConn(sc *secureConn, sub Partition, opts ServeOptions) {
 			// Liveness probe for the failure detector: proves the attested
 			// channel and the serve loop are alive. Carries and reveals
 			// nothing — probe timing is public deployment configuration.
+			opts.tel.pings.Inc()
 			if err := sc.send(&message{Kind: "ok"}); err != nil {
 				return
 			}
 		case "init":
+			opts.tel.inits.Inc()
 			reply := message{Kind: "ok"}
 			if err := opts.Replay.init(sub, m.IDs, m.Data); err != nil {
 				reply = message{Kind: "err", Error: err.Error()}
@@ -518,15 +563,27 @@ func serveConn(sc *secureConn, sub Partition, opts ServeOptions) {
 				return
 			}
 		case "batch":
+			// One counter bump and one latency observation per batch frame
+			// — events the host already sees on the wire. Replays and stale
+			// rejects (at-most-once bookkeeping) are counted separately.
+			opts.tel.batches.Inc()
+			tb0 := opts.Telemetry.Now()
 			out, replayed, err := opts.Replay.apply(sub, m)
 			arena.Default.PutRequests(m.reqs) // batch consumed
 			if err != nil {
+				if errors.Is(err, ErrStale) {
+					opts.tel.stale.Inc()
+				}
 				if err := sc.send(&message{Kind: "err", Error: err.Error()}); err != nil {
 					return
 				}
 				sc.conn.SetWriteDeadline(time.Time{})
 				continue
 			}
+			if replayed {
+				opts.tel.replays.Inc()
+			}
+			opts.tel.batchDur.Observe(time.Duration(opts.Telemetry.Now() - tb0))
 			sendErr := sc.sendReqs(tagResp, m.lbID, m.seq, out)
 			if !replayed {
 				arena.Default.PutRequests(out)
@@ -605,6 +662,13 @@ type RemoteSubORAM struct {
 	connMu    sync.Mutex // guards sc swaps against Close (which skips mu)
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// Telemetry instruments, resolved once at dial; all nil (no-ops)
+	// without Options.Telemetry.
+	telRPC        *telemetry.Histogram
+	telRetries    *telemetry.Counter
+	telReconnects *telemetry.Counter
+	telFailures   *telemetry.Counter
 }
 
 // Dial connects to a subORAM server with default Options, verifying that
@@ -630,6 +694,11 @@ func DialOptions(addr string, platform *enclave.Platform, want enclave.Measureme
 		opts:     opts,
 		lbID:     binary.LittleEndian.Uint64(lbID[:]),
 		closed:   make(chan struct{}),
+
+		telRPC:        opts.Telemetry.Histogram("transport_rpc", nil),
+		telRetries:    opts.Telemetry.Counter("transport_retries_total"),
+		telReconnects: opts.Telemetry.Counter("transport_reconnects_total"),
+		telFailures:   opts.Telemetry.Counter("transport_rpc_failures_total"),
 	}
 	sc, err := r.connect()
 	if err != nil {
@@ -694,6 +763,11 @@ func (r *RemoteSubORAM) backoff(k int) error {
 func (r *RemoteSubORAM) withRetry(timeout time.Duration, fn func(sc *secureConn) error) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Counted per re-attempt: retries happen only on connection
+			// failures, which the network adversary observes directly.
+			r.telRetries.Inc()
+		}
 		if r.isClosed() {
 			if lastErr != nil {
 				return fmt.Errorf("%w (last error: %v)", ErrClosed, lastErr)
@@ -715,6 +789,7 @@ func (r *RemoteSubORAM) withRetry(timeout time.Duration, fn func(sc *secureConn)
 				continue
 			}
 			r.setConn(sc)
+			r.telReconnects.Inc()
 		}
 		sc.setDeadline(timeout)
 		err := fn(sc)
@@ -738,6 +813,7 @@ func (r *RemoteSubORAM) withRetry(timeout time.Duration, fn func(sc *secureConn)
 			return err
 		}
 	}
+	r.telFailures.Inc()
 	return fmt.Errorf("transport: %s: %d attempts failed: %w", r.addr, r.opts.MaxRetries+1, lastErr)
 }
 
@@ -864,6 +940,7 @@ func (r *RemoteSubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, erro
 	defer r.mu.Unlock()
 	r.seq++
 	seq := r.seq
+	tr0 := r.opts.Telemetry.Now()
 	var out *store.Requests
 	err := r.withRetry(r.opts.RPCTimeout, func(sc *secureConn) error {
 		if err := sc.sendReqs(tagBatch, r.lbID, seq, reqs); err != nil {
@@ -891,6 +968,9 @@ func (r *RemoteSubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, erro
 	if err != nil {
 		return nil, err
 	}
+	// End-to-end batch RPC latency including any retries — one observation
+	// per successful epoch delivery.
+	r.telRPC.Observe(time.Duration(r.opts.Telemetry.Now() - tr0))
 	return out, nil
 }
 

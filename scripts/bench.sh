@@ -6,6 +6,11 @@
 # results/BENCH_dataplane_baseline.json (recorded before the pooled-arena
 # refactor) to see the allocation reduction.
 #
+# Also runs snoopy-bench's instrumented observability deployment and emits
+# results/BENCH_observability.json: a full telemetry snapshot — counters,
+# stage-duration histograms, and the per-epoch stage spans showing where
+# epoch time goes (stage A batching, per-partition stage B, stage C match).
+#
 # Usage: scripts/bench.sh [benchtime]   (default 2x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,3 +42,6 @@ END { print "\n  ]"; print "}" }
 ' "$RAW" > results/BENCH_dataplane.json
 
 echo "wrote results/BENCH_dataplane.json"
+
+go run ./cmd/snoopy-bench -observability results/BENCH_observability.json
+echo "wrote results/BENCH_observability.json"

@@ -21,5 +21,7 @@ go test -race -timeout 45m \
   ./internal/cluster/... \
   ./internal/chaos/... \
   ./internal/loadbalancer/... \
-  ./internal/ohash/...
+  ./internal/ohash/... \
+  ./internal/telemetry/... \
+  ./internal/metrics/...
 echo "check.sh: OK"

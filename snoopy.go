@@ -29,6 +29,7 @@ import (
 	"snoopy/internal/enclave"
 	"snoopy/internal/planner"
 	"snoopy/internal/suboram"
+	"snoopy/internal/telemetry"
 	"snoopy/internal/transport"
 )
 
@@ -93,6 +94,14 @@ type Config struct {
 	// is the outage duration (first failed epoch to successful swap) and
 	// err is nil on success.
 	OnFailover func(part int, took time.Duration, err error)
+	// Telemetry, when non-nil, receives the deployment's counters,
+	// histograms, and per-epoch stage spans (see NewTelemetry). Every
+	// instrument name, bucket boundary, and recording site is a function
+	// of public configuration only, and recording fires once per public
+	// event with public payloads — observability adds no side channel
+	// beyond what Theorem 3 already makes public. Nil disables telemetry
+	// at zero cost.
+	Telemetry *Telemetry
 }
 
 // FailoverFunc produces a replacement client for failed partition part;
@@ -126,6 +135,7 @@ func Open(cfg Config) (*Store, error) {
 		FailoverAfter:    cfg.FailoverAfter,
 		Failover:         cfg.Failover,
 		OnFailover:       cfg.OnFailover,
+		Telemetry:        cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -146,6 +156,7 @@ func OpenWithSubORAMs(cfg Config, subs []SubORAM) (*Store, error) {
 		FailoverAfter:    cfg.FailoverAfter,
 		Failover:         cfg.Failover,
 		OnFailover:       cfg.OnFailover,
+		Telemetry:        cfg.Telemetry,
 	}, subs)
 	if err != nil {
 		return nil, err
@@ -272,6 +283,11 @@ type DialConfig struct {
 	// Epoch, when set, derives RPCTimeout from the deployment's epoch
 	// duration if RPCTimeout is zero.
 	Epoch time.Duration
+	// Telemetry, when non-nil, counts this connection's RPC latency,
+	// retries, reconnects, and failures (transport_* instruments). All
+	// recording sites fire on connection-level events the network
+	// adversary already observes.
+	Telemetry *Telemetry
 }
 
 // DialSubORAMConfig is DialSubORAM with explicit failure-handling
@@ -281,6 +297,7 @@ func DialSubORAMConfig(addr string, p *Platform, want Measurement, cfg DialConfi
 		DialTimeout: cfg.DialTimeout,
 		RPCTimeout:  cfg.RPCTimeout,
 		InitTimeout: cfg.InitTimeout,
+		Telemetry:   cfg.Telemetry,
 	}
 	if opts.RPCTimeout <= 0 && cfg.Epoch > 0 {
 		opts.RPCTimeout = transport.OptionsForEpoch(cfg.Epoch).RPCTimeout
@@ -298,6 +315,40 @@ func DialSubORAMConfig(addr string, p *Platform, want Measurement, cfg DialConfi
 // remote partitions, or to serve one with ServeSubORAM).
 func NewLocalSubORAM(blockSize, workers int, sealed bool) *suboram.SubORAM {
 	return suboram.New(suboram.Config{BlockSize: blockSize, Workers: workers, Sealed: sealed})
+}
+
+// ---- Telemetry (oblivious-safe observability) ----
+
+// Telemetry is a process-wide registry of counters, gauges, fixed-bucket
+// histograms, and per-epoch stage spans (internal/telemetry). Its design
+// invariant is that observability must not reinstate the side channel the
+// store exists to close: every instrument name, label, and bucket boundary
+// is fixed at registration from public configuration; every recording site
+// fires unconditionally once per public event (an epoch, a batch, a
+// connection) with public payloads (epoch number, partition index, padded
+// batch size α); and all timing flows through the registry's replaceable
+// monotonic clock. Pass one registry to Config.Telemetry and/or
+// DialConfig.Telemetry, then expose it with ServeTelemetry.
+type Telemetry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of a registry's instruments
+// and recent epoch spans (see Telemetry.Snapshot).
+type TelemetrySnapshot = telemetry.Snapshot
+
+// EpochSpan is one recorded stage span in an epoch trace.
+type EpochSpan = telemetry.Span
+
+// NewTelemetry creates an empty telemetry registry with a real monotonic
+// clock. A nil *Telemetry is also valid everywhere and records nothing.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// ServeTelemetry serves the operator surface for a registry on addr:
+// GET /metrics (plain-text instrument dump), GET /trace/epochs?n=N (the
+// last N stage spans as JSON, canonically ordered), and net/http/pprof
+// under /debug/pprof/. It returns the bound address (useful with ":0")
+// and a function that shuts the server down.
+func ServeTelemetry(addr string, t *Telemetry) (string, func() error, error) {
+	return telemetry.Serve(addr, t)
 }
 
 // ---- Planner ----
