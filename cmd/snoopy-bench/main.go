@@ -108,7 +108,17 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,table8,9a,9b,10,11a,11b,12,13a,13b,14,headline,all")
 	full := flag.Bool("full", false, "use the paper's full data sizes (hours of runtime)")
 	observability := flag.String("observability", "", "instead of a figure, run an instrumented deployment and write its telemetry snapshot (counters, histograms, epoch stage spans) to this JSON file")
+	segstoreOut := flag.String("segstore", "", "instead of a figure, compare memory-resident vs disk-resident (internal/segstore) scan throughput across segment sizes and write the comparison to this JSON file")
 	flag.Parse()
+
+	if *segstoreOut != "" {
+		if err := runSegstore(*segstoreOut); err != nil {
+			fmt.Fprintf(os.Stderr, "segstore run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("segstore comparison written to %s\n", *segstoreOut)
+		return
+	}
 
 	if *observability != "" {
 		if err := runObservability(*observability); err != nil {

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/segstore"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// segstoreReport is the shape of results/BENCH_segstore.json: one
+// memory-resident baseline and one disk-resident row per segment size, all
+// driving the identical batch workload over the identical partition. The
+// interesting ratio is disk scan_mb_s versus the memory baseline — that is
+// the bandwidth price of partitions larger than RAM — and how it moves with
+// segment size (bigger segments amortize per-segment seal/IO overhead at
+// the cost of a bigger streaming buffer).
+type segstoreReport struct {
+	Config struct {
+		Blocks    int `json:"blocks"`
+		BlockSize int `json:"block_size"`
+		BatchSize int `json:"batch_size"`
+		Iters     int `json:"iters"`
+	} `json:"config"`
+	Memory segstoreRow   `json:"memory"`
+	Disk   []segstoreRow `json:"disk"`
+}
+
+type segstoreRow struct {
+	SegmentBytes  int     `json:"segment_bytes,omitempty"`
+	SegmentBlocks int     `json:"segment_blocks,omitempty"`
+	BatchMs       float64 `json:"batch_ms"`
+	ScanMBps      float64 `json:"scan_mb_s"`
+	// ScanAllocsPerOp is heap allocations per full steady-state segment
+	// scan (disk rows only). The streaming path pools every buffer, so
+	// this must be zero; internal/segstore's alloc test guards the same
+	// invariant in CI.
+	ScanAllocsPerOp uint64 `json:"scan_allocs_per_op,omitempty"`
+}
+
+// segstoreBatches times iters identical read batches against one partition
+// and returns (ms per batch, scanned MB/s). Every batch forces the full
+// linear scan, so scanned bytes per batch is the whole partition.
+func segstoreBatches(sub *suboram.SubORAM, blocks, blockSize, batchSize, iters int) (float64, float64, error) {
+	reqs := store.NewRequests(batchSize, blockSize)
+	for i := 0; i < batchSize; i++ {
+		reqs.SetRow(i, store.OpRead, uint64((i*7)%blocks), 0, uint64(i), uint64(i), nil)
+	}
+	if _, err := sub.BatchAccess(reqs.Clone()); err != nil { // warm-up
+		return 0, 0, err
+	}
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		if _, err := sub.BatchAccess(reqs.Clone()); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	batchMs := float64(elapsed.Milliseconds()) / float64(iters)
+	scanned := float64(blocks*blockSize*iters) / (1 << 20)
+	return batchMs, scanned / elapsed.Seconds(), nil
+}
+
+// runSegstore writes the memory-vs-disk scan comparison to path.
+func runSegstore(path string) error {
+	var rep segstoreReport
+	rep.Config.Blocks = 1 << 14
+	rep.Config.BlockSize = 160
+	rep.Config.BatchSize = 256
+	rep.Config.Iters = 8
+
+	ids := make([]uint64, rep.Config.Blocks)
+	data := make([]byte, rep.Config.Blocks*rep.Config.BlockSize)
+	for i := range ids {
+		ids[i] = uint64(i)
+		data[i*rep.Config.BlockSize] = byte(i)
+	}
+
+	mem := suboram.New(suboram.Config{BlockSize: rep.Config.BlockSize})
+	if err := mem.Init(ids, data); err != nil {
+		return err
+	}
+	var err error
+	rep.Memory.BatchMs, rep.Memory.ScanMBps, err = segstoreBatches(
+		mem, rep.Config.Blocks, rep.Config.BlockSize, rep.Config.BatchSize, rep.Config.Iters)
+	if err != nil {
+		return err
+	}
+
+	for _, segBytes := range []int{16384, 65536, 262144} {
+		row, err := segstoreDiskRow(rep, ids, data, segBytes)
+		if err != nil {
+			return err
+		}
+		rep.Disk = append(rep.Disk, row)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func segstoreDiskRow(rep segstoreReport, ids []uint64, data []byte, segBytes int) (segstoreRow, error) {
+	row := segstoreRow{SegmentBytes: segBytes, SegmentBlocks: segBytes / rep.Config.BlockSize}
+	dir, err := os.MkdirTemp("", "snoopy-segbench")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	ss, err := segstore.Open(dir, segstore.Options{
+		BlockSize:     rep.Config.BlockSize,
+		SegmentBlocks: row.SegmentBlocks,
+		Key:           crypt.MustNewKey(),
+	})
+	if err != nil {
+		return row, err
+	}
+	defer ss.Close()
+	sub := suboram.New(suboram.Config{BlockSize: rep.Config.BlockSize, Store: ss})
+	if err := sub.Init(ids, data); err != nil {
+		return row, err
+	}
+	row.BatchMs, row.ScanMBps, err = segstoreBatches(
+		sub, rep.Config.Blocks, rep.Config.BlockSize, rep.Config.BatchSize, rep.Config.Iters)
+	if err != nil {
+		return row, err
+	}
+
+	// Steady-state allocation count of the raw streaming scan loop.
+	noop := func(i int, blk []byte) {}
+	if err := ss.Scan(0, ss.NumBlocks(), noop); err != nil { // warm the buffer pool
+		return row, err
+	}
+	const allocIters = 4
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < allocIters; i++ {
+		if err := ss.Scan(0, ss.NumBlocks(), noop); err != nil {
+			return row, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	row.ScanAllocsPerOp = (m1.Mallocs - m0.Mallocs) / allocIters
+	fmt.Printf("segstore bench: seg=%dB scan=%.1f MB/s (memory %.1f MB/s), %d allocs/scan\n",
+		segBytes, row.ScanMBps, rep.Memory.ScanMBps, row.ScanAllocsPerOp)
+	return row, nil
+}

@@ -32,6 +32,7 @@ import (
 	"snoopy/internal/enclave"
 	"snoopy/internal/metrics"
 	"snoopy/internal/persist"
+	"snoopy/internal/segstore"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
 	"snoopy/internal/telemetry"
@@ -68,6 +69,8 @@ func main() {
 	workers := flag.Int("workers", 0, "scan worker threads (0 = 1)")
 	sealed := flag.Bool("sealed", false, "store partition in sealed enclave-external memory")
 	dataDir := flag.String("data", "", "directory for sealed durable state (empty = in-memory only)")
+	diskResident := flag.Bool("disk-resident", false, "keep partition contents on disk in sealed segments (requires -data, excludes -sealed)")
+	segmentBytes := flag.Int("segment-bytes", 0, "sealed segment payload size in bytes for -disk-resident (0 = 512 blocks)")
 	platformHex := flag.String("platform", "", "shared platform root key (64 hex chars); empty generates one and prints it")
 	handshakeTimeout := flag.Duration("handshake-timeout", 10*time.Second, "attested handshake deadline per connection")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
@@ -104,12 +107,38 @@ func main() {
 		fmt.Printf("telemetry on http://%s (/metrics, /trace/epochs, /debug/pprof)\n", addr)
 	}
 
-	sub := suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed, Telemetry: reg})
-	var serve transport.Partition = sub
-	var dur *persist.Durable
-	if *dataDir != "" {
-		var err error
-		dur, err = persist.NewDurable(*dataDir, sub, persist.Config{BlockSize: *block, Telemetry: reg})
+	if *diskResident && *dataDir == "" {
+		log.Fatal("-disk-resident requires -data")
+	}
+	if *diskResident && *sealed {
+		log.Fatal("-disk-resident and -sealed are mutually exclusive")
+	}
+
+	var sub *suboram.SubORAM
+	var serve transport.Partition
+	epochOf := func() uint64 { return 0 }
+	switch {
+	case *diskResident:
+		sd, err := persist.NewSegDurable(*dataDir,
+			func(ss *segstore.Store) persist.StorePartition {
+				sub = suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Store: ss, Telemetry: reg})
+				return sub
+			},
+			persist.SegConfig{BlockSize: *block, SegmentBlocks: *segmentBytes / *block, Telemetry: reg})
+		if err != nil {
+			log.Fatalf("disk-resident state in %s unusable: %v", *dataDir, err)
+		}
+		if sd.Recovered() {
+			fmt.Printf("recovered disk-resident partition from %s: %d objects at epoch %d (rolled forward: %v)\n",
+				*dataDir, sub.NumObjects(), sd.Epoch(), sd.RolledForward())
+		} else {
+			fmt.Printf("disk-resident state in %s (fresh partition)\n", *dataDir)
+		}
+		serve = sd
+		epochOf = sd.Epoch
+	case *dataDir != "":
+		sub = suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed, Telemetry: reg})
+		dur, err := persist.NewDurable(*dataDir, sub, persist.Config{BlockSize: *block, Telemetry: reg})
 		if err != nil {
 			log.Fatalf("durable state in %s unusable: %v", *dataDir, err)
 		}
@@ -120,18 +149,18 @@ func main() {
 			fmt.Printf("durable state in %s (fresh partition)\n", *dataDir)
 		}
 		serve = dur
+		epochOf = dur.Epoch
+	default:
+		sub = suboram.New(suboram.Config{BlockSize: *block, Workers: *workers, Sealed: *sealed, Telemetry: reg})
+		serve = sub
 	}
 	if *healthLog > 0 {
 		c := &counted{Partition: serve}
 		serve = c
 		go func() {
 			for range time.Tick(*healthLog) {
-				var epoch uint64
-				if dur != nil {
-					epoch = dur.Epoch()
-				}
 				log.Printf("health: batches=%d rows=%d epoch=%d objects=%d",
-					c.batches.Load(), c.rows.Load(), epoch, sub.NumObjects())
+					c.batches.Load(), c.rows.Load(), epochOf(), sub.NumObjects())
 			}
 		}()
 	}

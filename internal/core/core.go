@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 	"snoopy/internal/crypt"
 	"snoopy/internal/loadbalancer"
 	"snoopy/internal/persist"
+	"snoopy/internal/segstore"
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
 	"snoopy/internal/telemetry"
@@ -82,6 +84,18 @@ type Config struct {
 	// already holds state. Only NewLocal honors it; remote partitions
 	// persist on their own hosts (snoopy-server -data).
 	DataDir string
+	// DiskResident keeps partition block values on disk in sealed segments
+	// (internal/segstore) instead of memory, letting a partition exceed RAM
+	// by orders of magnitude: batches stream the oblivious scan over the
+	// sealed segment file with redo-log durability. Requires DataDir.
+	// Mutually exclusive with Sealed.
+	DiskResident bool
+	// SegmentBytes is the disk-resident segment size in bytes (default
+	// 512 blocks' worth): the streaming-scan buffer and write-back
+	// granularity, rounded down to a whole number of blocks. A public
+	// parameter — the scan's I/O shape is a function of it and the
+	// partition size only.
+	SegmentBytes int
 
 	// FailoverAfter trips automatic failover for a partition after that
 	// many consecutive failed epochs (0 disables). Like every timing and
@@ -276,9 +290,10 @@ type System struct {
 	// recovered reports whether any durable partition restored persisted
 	// state at startup (Config.DataDir).
 	recovered bool
-	// owned holds durable partitions NewLocal created, closed with the
-	// system. Caller-provided partitions are never closed here.
-	owned []*persist.Durable
+	// owned holds durable partitions NewLocal created (memory-resident
+	// Durable and disk-resident SegDurable alike), closed with the system.
+	// Caller-provided partitions are never closed here.
+	owned []io.Closer
 }
 
 // NewLocal creates a deployment whose subORAMs run in-process. With
@@ -297,9 +312,42 @@ func NewLocal(cfg Config) (*System, error) {
 		}
 		cfg.routeKey = &key
 	}
+	if cfg.DiskResident && cfg.DataDir == "" {
+		return nil, fmt.Errorf("core: DiskResident requires DataDir")
+	}
+	if cfg.DiskResident && cfg.Sealed {
+		return nil, fmt.Errorf("core: DiskResident and Sealed are mutually exclusive")
+	}
 	subs := make([]SubORAMClient, cfg.NumSubORAMs)
 	recovered := false
 	for i := range subs {
+		path := ""
+		if cfg.DataDir != "" {
+			path = filepath.Join(cfg.DataDir, fmt.Sprintf("part-%03d", i))
+		}
+		if cfg.DiskResident {
+			sd, err := persist.NewSegDurable(path,
+				func(ss *segstore.Store) persist.StorePartition {
+					return suboram.New(suboram.Config{
+						BlockSize: cfg.BlockSize,
+						Workers:   cfg.SubORAMWorkers,
+						Strict:    cfg.Strict,
+						Store:     ss,
+						Telemetry: cfg.Telemetry,
+					})
+				},
+				persist.SegConfig{
+					BlockSize:     cfg.BlockSize,
+					SegmentBlocks: cfg.SegmentBytes / cfg.BlockSize,
+					Telemetry:     cfg.Telemetry,
+				})
+			if err != nil {
+				return nil, fmt.Errorf("core: partition %d: %w", i, err)
+			}
+			recovered = recovered || sd.Recovered()
+			subs[i] = sd
+			continue
+		}
 		sub := suboram.New(suboram.Config{
 			BlockSize: cfg.BlockSize,
 			Workers:   cfg.SubORAMWorkers,
@@ -307,13 +355,12 @@ func NewLocal(cfg Config) (*System, error) {
 			Sealed:    cfg.Sealed,
 			Telemetry: cfg.Telemetry,
 		})
-		if cfg.DataDir == "" {
+		if path == "" {
 			subs[i] = sub
 			continue
 		}
 		dur, err := persist.NewDurable(
-			filepath.Join(cfg.DataDir, fmt.Sprintf("part-%03d", i)),
-			sub, persist.Config{BlockSize: cfg.BlockSize, Telemetry: cfg.Telemetry})
+			path, sub, persist.Config{BlockSize: cfg.BlockSize, Telemetry: cfg.Telemetry})
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
@@ -326,7 +373,10 @@ func NewLocal(cfg Config) (*System, error) {
 	}
 	sys.recovered = recovered
 	for _, sub := range subs {
-		if dur, ok := sub.(*persist.Durable); ok {
+		switch dur := sub.(type) {
+		case *persist.Durable:
+			sys.owned = append(sys.owned, dur)
+		case *persist.SegDurable:
 			sys.owned = append(sys.owned, dur)
 		}
 	}

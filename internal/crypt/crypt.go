@@ -139,20 +139,39 @@ func NewRandomSealer(key Key) (*RandomSealer, error) {
 // Seal encrypts and authenticates plaintext with the given associated data,
 // returning nonce||ciphertext||tag (Overhead bytes of expansion).
 func (s *RandomSealer) Seal(plaintext, aad []byte) []byte {
-	out := make([]byte, NonceSize, NonceSize+len(plaintext)+16)
-	if _, err := rand.Read(out[:NonceSize]); err != nil {
+	return s.SealAppend(nil, plaintext, aad)
+}
+
+// SealAppend is Seal appending to dst (which may share no storage with
+// plaintext), so a steady-state sealed-storage writer can reuse one
+// ciphertext buffer per stream instead of allocating per record.
+func (s *RandomSealer) SealAppend(dst, plaintext, aad []byte) []byte {
+	// Stage the nonce inside dst rather than a local array: locals passed
+	// to rand.Read and the AEAD interface escape, costing one heap
+	// allocation per seal — dst is already heap-backed.
+	n := len(dst)
+	var zero [NonceSize]byte
+	dst = append(dst, zero[:]...)
+	nonce := dst[n : n+NonceSize]
+	if _, err := rand.Read(nonce); err != nil {
 		panic(fmt.Sprintf("crypt: sampling nonce: %v", err))
 	}
-	return s.aead.Seal(out, out[:NonceSize], plaintext, aad)
+	return s.aead.Seal(dst, nonce, plaintext, aad)
 }
 
 // Open authenticates and decrypts a message produced by Seal with the same
 // key and associated data.
 func (s *RandomSealer) Open(msg, aad []byte) ([]byte, error) {
+	return s.OpenAppend(nil, msg, aad)
+}
+
+// OpenAppend is Open appending the plaintext to dst (which may share no
+// storage with msg), the read-side counterpart of SealAppend.
+func (s *RandomSealer) OpenAppend(dst, msg, aad []byte) ([]byte, error) {
 	if len(msg) < NonceSize {
 		return nil, ErrAuth
 	}
-	pt, err := s.aead.Open(nil, msg[:NonceSize], msg[NonceSize:], aad)
+	pt, err := s.aead.Open(dst, msg[:NonceSize], msg[NonceSize:], aad)
 	if err != nil {
 		return nil, ErrAuth
 	}

@@ -1,0 +1,493 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/segstore"
+	"snoopy/internal/store"
+	"snoopy/internal/telemetry"
+	"snoopy/internal/trace"
+	"snoopy/internal/wirecode"
+)
+
+// SegDurable is the disk-resident counterpart of Durable: it wraps a
+// store-backed partition (internal/suboram with a segstore.Store) whose
+// block values live on disk, so the segment store itself is the durable
+// state image and no separate snapshot file exists. What remains under the
+// persistence layer's control:
+//
+//	seal.key  — the sealing key, shared with the segment store.
+//	epoch.ctr — the trusted monotonic counter anchoring freshness.
+//	ids       — the sealed object-identifier set (immutable after Init),
+//	            AAD-bound to the epoch recorded in the segment registry.
+//	wal       — a one-batch redo log (see below).
+//	segments/ — the segstore directory: sealed registry + slot data.
+//
+// Logging discipline: Durable logs a batch AFTER applying it to the
+// memory-resident partition, because a crash loses the in-memory effects
+// anyway. A disk-mutating scan inverts the requirement — once segment slots
+// start changing, a crash must be able to finish the batch, so SegDurable
+// writes the batch's WAL record and fsyncs BEFORE the scan touches disk
+// (redo logging). The scan then writes each segment into the inactive
+// epoch-parity slot, the registry commit publishes the new epoch atomically,
+// and the trusted counter acknowledges it. A crash at any point leaves
+// either (a) the old epoch intact with a logged-but-unapplied batch —
+// recovery re-derives the new epoch from old slots + WAL rows, an idempotent
+// absolute-write replay — or (b) the new epoch committed with the counter
+// one behind — recovery verifies and bumps the counter.
+//
+// Because the log only ever needs the single in-flight batch, it is
+// truncated at the start of every BatchAccess rather than compacted by
+// snapshots; WAL records keep Durable's fixed-shape row format (reads
+// re-keyed into dummy space branch-free), so the host learns nothing about
+// the batch's read/write mix from either log or segment I/O.
+type SegDurable struct {
+	cfg   SegConfig
+	inner StorePartition
+	d     *dir
+	ctr   *FileCounter
+	ss    *segstore.Store
+
+	mu        sync.Mutex
+	wal       *os.File
+	walSize   int64
+	recovered bool
+	rolledFwd bool // recovery completed a logged-but-uncommitted batch
+
+	telWALAppend *telemetry.Histogram
+	telCommits   *telemetry.Counter
+	telRollFwd   *telemetry.Counter
+}
+
+// StorePartition is the partition surface SegDurable wraps: the usual
+// Partition contract plus the adopt-the-store recovery hook (satisfied by
+// *suboram.SubORAM configured with a Store).
+type StorePartition interface {
+	Partition
+	RestoreFromStore(ids []uint64) error
+}
+
+// SegConfig tunes a SegDurable wrapper. The zero value works.
+type SegConfig struct {
+	// BlockSize is the object value size in bytes (default 160).
+	BlockSize int
+	// SegmentBlocks is the segment geometry in blocks (default 512); the
+	// streaming scan buffer is one segment. Public parameter.
+	SegmentBlocks int
+	// WALRows is the fixed row count of a sealed WAL record (default 512),
+	// exactly as in Config.
+	WALRows int
+	// Key overrides the sealing key; nil loads/creates seal.key in the
+	// partition directory.
+	Key *crypt.Key
+	// Rec, when non-nil, records the host-visible I/O trace (WAL and
+	// segment I/O) for the obliviousness tests.
+	Rec *trace.Recorder
+	// Telemetry, when non-nil, records WAL-append latency, commit and
+	// roll-forward counters, and (through the segment store) segment
+	// read/write bytes and scan spans.
+	Telemetry *telemetry.Registry
+}
+
+func (c *SegConfig) fillDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 160
+	}
+	if c.SegmentBlocks <= 0 {
+		c.SegmentBlocks = 512
+	}
+	if c.WALRows <= 0 {
+		c.WALRows = 512
+	}
+}
+
+// Segment-store subdirectory and sealed ids file names.
+const (
+	segStoreDir = "segments"
+	segIDsFile  = "ids"
+)
+
+// segIDsContext is the AAD context for the sealed identifier set. The AAD
+// extra binds the epoch the registry records for the ids image, so a stale
+// ids file cannot be paired with a newer store.
+const segIDsContext = "snoopy-persist/segids/v1"
+
+// NewSegDurable opens (or creates) a disk-resident partition directory and
+// wraps the partition that build constructs over its segment store. The
+// two-step construction exists because the partition needs the store at
+// creation time (scan plumbing) while the store's key and recovery belong
+// here: build is called exactly once, before any recovery, and must return
+// a partition configured to scan the given store.
+//
+// When the directory holds state, it is recovered: the registry and every
+// segment are authenticated and checked against the trusted counter (stale
+// state fails with ErrRollback / segstore.ErrSegmentRollback), a logged but
+// uncommitted batch is rolled forward, and the identifier set is loaded
+// into the partition. A process killed at any point resumes at — or, for a
+// batch whose redo record was already durable, just after — its last
+// acknowledged batch.
+func NewSegDurable(path string, build func(ss *segstore.Store) StorePartition, cfg SegConfig) (*SegDurable, error) {
+	cfg.fillDefaults()
+	if err := os.MkdirAll(path, 0o700); err != nil {
+		return nil, err
+	}
+	key := cfg.Key
+	if key == nil {
+		k, err := loadSealKey(filepath.Join(path, sealKeyFile))
+		if err != nil {
+			return nil, err
+		}
+		key = &k
+	}
+	d, err := openDir(path, key, cfg.Rec)
+	if err != nil {
+		return nil, err
+	}
+	ctr, counterExisted, err := openCounter(d)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := segstore.Open(filepath.Join(path, segStoreDir), segstore.Options{
+		BlockSize:     cfg.BlockSize,
+		SegmentBlocks: cfg.SegmentBlocks,
+		Key:           *key,
+		Rec:           cfg.Rec,
+		Telemetry:     cfg.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sd := &SegDurable{
+		cfg: cfg, inner: build(ss), d: d, ctr: ctr, ss: ss,
+		telWALAppend: cfg.Telemetry.Histogram("persist_wal_append", nil),
+		telCommits:   cfg.Telemetry.Counter("persist_seg_commits_total"),
+		telRollFwd:   cfg.Telemetry.Counter("persist_seg_rollforward_total"),
+	}
+	if err := sd.recover(counterExisted); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// recover brings the store, counter, and partition into agreement.
+func (sd *SegDurable) recover(counterExisted bool) error {
+	epoch := sd.ctr.Current()
+	if !sd.ss.Formatted() {
+		// No registry: legitimate only for a partition that never completed
+		// an Init — the counter must still be at zero and no sealed state
+		// may be lying around claiming otherwise.
+		if counterExisted && epoch != 0 {
+			return fmt.Errorf("%w (no segment registry, counter at epoch %d)", ErrRollback, epoch)
+		}
+		if _, err := os.Stat(sd.d.file(segIDsFile)); err == nil {
+			return errCorrupt("sealed identifier set present without a segment registry")
+		}
+		if st, err := os.Stat(sd.d.file(walFile)); err == nil && st.Size() != 0 {
+			return errCorrupt("write-ahead log present without a segment registry")
+		}
+		return sd.openWAL()
+	}
+
+	// The registry authenticated at open; anchor its freshness. At most one
+	// batch can be ahead of the counter (the redo-logged in-flight one).
+	if err := sd.ss.RequireEpoch(epoch, epoch+1); err != nil {
+		return err
+	}
+	ids, err := sd.readIDs()
+	if err != nil {
+		return err
+	}
+	walEpoch, rows, complete, err := sd.d.collectWAL(sd.d.file(walFile), sd.cfg.WALRows, sd.cfg.BlockSize)
+	if err != nil {
+		return err
+	}
+	switch storeEpoch := sd.ss.Epoch(); {
+	case storeEpoch == epoch+1:
+		// Crash between the registry commit and the counter increment: the
+		// batch is fully applied and its redo record was durable before any
+		// slot changed, so acknowledge it. Authenticate every segment first —
+		// the pass also surfaces per-segment rollback.
+		if err := sd.ss.Verify(0, sd.ss.NumBlocks(), nil); err != nil {
+			return err
+		}
+		sd.ctr.Increment()
+		if err := sd.ctr.Err(); err != nil {
+			return err
+		}
+		sd.rolledFwd = true
+		sd.telRollFwd.Inc()
+	case complete && walEpoch == epoch+1:
+		// Crash after the redo record became durable but before the registry
+		// commit: the previous epoch's slots are intact (the scan writes the
+		// other parity slot), so re-derive the new epoch from them plus the
+		// logged rows — an idempotent absolute-write replay, streamed with
+		// the same fixed whole-store I/O shape as any scan. The replay
+		// authenticates every segment as it goes.
+		if err := sd.rollForward(ids, rows, epoch+1); err != nil {
+			return err
+		}
+		sd.rolledFwd = true
+		sd.telRollFwd.Inc()
+	default:
+		// Consistent at the counter (any WAL content is a previous epoch's
+		// applied record or an unacknowledged torn tail — both discardable).
+		// Authenticate the full store before serving.
+		if err := sd.ss.Verify(0, sd.ss.NumBlocks(), nil); err != nil {
+			return err
+		}
+	}
+	if err := sd.inner.RestoreFromStore(ids); err != nil {
+		return err
+	}
+	sd.recovered = true
+	return sd.openWAL()
+}
+
+// rollForward completes a logged-but-uncommitted batch: rows are the
+// concatenated fixed-shape WAL rows of epoch next; write rows are applied as
+// absolute values over the previous epoch's slots and the result committed
+// and acknowledged. Rows for dummy keys (including re-keyed reads) and
+// unknown keys are skipped — matching batch semantics — inside the enclave;
+// the host observes only the fixed full-store streaming pass.
+func (sd *SegDurable) rollForward(ids []uint64, rows []byte, next uint64) error {
+	index := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	rowLen := wirecode.KVRowLen(sd.cfg.BlockSize)
+	pending := make(map[int][]byte)
+	for r := 0; r*rowLen < len(rows); r++ {
+		row := rows[r*rowLen : (r+1)*rowLen]
+		key := wirecode.KVRowKey(row)
+		if store.IsDummyKey(key) {
+			continue
+		}
+		if i, ok := index[key]; ok {
+			pending[i] = wirecode.KVRowValue(row)
+		}
+	}
+	sd.ss.BeginEpoch(next)
+	if err := sd.ss.Rewrite(func(i int, blk []byte) {
+		if v, ok := pending[i]; ok {
+			copy(blk, v)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := sd.ss.Commit(); err != nil {
+		return err
+	}
+	sd.ctr.Increment()
+	return sd.ctr.Err()
+}
+
+// openWAL opens the redo-log append handle, discarding any previous
+// contents (every record is either applied or unacknowledged by now).
+func (sd *SegDurable) openWAL() error {
+	f, err := os.OpenFile(sd.d.file(walFile), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	sd.wal = f
+	sd.walSize = 0
+	return nil
+}
+
+// readIDs loads the sealed identifier set, authenticated against the epoch
+// the segment registry records for it.
+func (sd *SegDurable) readIDs() ([]uint64, error) {
+	f, err := os.Open(sd.d.file(segIDsFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, errCorrupt("segment registry present without a sealed identifier set")
+		}
+		return nil, err
+	}
+	defer f.Close()
+	n := sd.ss.NumBlocks()
+	var aadExtra [8]byte
+	binary.LittleEndian.PutUint64(aadExtra[:], sd.ss.IDsEpoch())
+	pt, err := sd.d.readRecord(f, segIDsContext, aadExtra[:], 8*n, 0)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, errCorrupt("sealed identifier set truncated")
+		}
+		return nil, err
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint64(pt[i*8 : (i+1)*8])
+	}
+	return ids, nil
+}
+
+// writeIDsLocked seals and atomically writes the identifier set, bound to
+// the given epoch. Caller holds mu.
+func (sd *SegDurable) writeIDsLocked(ids []uint64, epoch uint64) error {
+	pt := make([]byte, 8*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(pt[i*8:(i+1)*8], id)
+	}
+	var aadExtra [8]byte
+	binary.LittleEndian.PutUint64(aadExtra[:], epoch)
+	return sd.d.writeFileAtomic(segIDsFile, sd.d.sealRecord(segIDsContext, aadExtra[:], pt))
+}
+
+// Recovered reports whether the directory held state that was restored.
+func (sd *SegDurable) Recovered() bool {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.recovered
+}
+
+// RolledForward reports whether recovery completed a batch whose redo
+// record was durable but whose commit (or acknowledgment) the crash
+// interrupted.
+func (sd *SegDurable) RolledForward() bool {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.rolledFwd
+}
+
+// Epoch returns the trusted counter: the number of acknowledged batches.
+func (sd *SegDurable) Epoch() uint64 { return sd.ctr.Current() }
+
+// Counter exposes the trusted monotonic counter (replication wiring).
+func (sd *SegDurable) Counter() *FileCounter { return sd.ctr }
+
+// Store exposes the underlying segment store (benchmarks, tests).
+func (sd *SegDurable) Store() *segstore.Store { return sd.ss }
+
+// Init loads the partition: the store is formatted and streamed full at the
+// current epoch, the identifier set sealed beside it, and everything made
+// durable before Init returns. Init is not crash-atomic the way a batch is —
+// nothing is acknowledged until Init returns, so a crash mid-Init can leave
+// a partition that fails recovery closed and must be wiped and
+// re-initialized; no acknowledged state is ever at risk.
+func (sd *SegDurable) Init(ids []uint64, data []byte) error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.initLocked(ids, data, false)
+}
+
+func (sd *SegDurable) initLocked(ids []uint64, data []byte, restore bool) error {
+	epoch := sd.ctr.Current()
+	sd.ss.BeginEpoch(epoch)
+	var err error
+	if restore {
+		if r, ok := sd.inner.(restorer); ok {
+			err = r.Restore(ids, data)
+		} else {
+			err = sd.inner.Init(ids, data)
+		}
+	} else {
+		err = sd.inner.Init(ids, data)
+	}
+	if err != nil {
+		return err
+	}
+	if err := sd.writeIDsLocked(ids, epoch); err != nil {
+		return err
+	}
+	if err := sd.ss.Commit(); err != nil {
+		return err
+	}
+	if err := sd.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := sd.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	sd.d.rec.Record(trace.KindFileWrite, 0, 0) // WAL reset, shape-only event
+	sd.walSize = 0
+	return nil
+}
+
+// BatchAccess applies one batch with redo durability: the batch's sealed
+// WAL record is fsynced before the scan mutates any slot, the scan streams
+// the partition into the new epoch's parity slots, the registry commit
+// publishes them, and the trusted counter acknowledges the epoch — only
+// then is the response released.
+func (sd *SegDurable) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if reqs.BlockSize != sd.cfg.BlockSize {
+		return nil, fmt.Errorf("persist: batch block size %d != %d", reqs.BlockSize, sd.cfg.BlockSize)
+	}
+	if err := sd.ctr.Err(); err != nil {
+		return nil, fmt.Errorf("persist: epoch counter lost durability: %w", err)
+	}
+	// Drop the previous batch's (already applied) record; the log holds at
+	// most the one in-flight batch.
+	if err := sd.wal.Truncate(0); err != nil {
+		return nil, err
+	}
+	if _, err := sd.wal.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	sd.d.rec.Record(trace.KindFileWrite, 0, 0) // WAL reset, shape-only event
+	sd.walSize = 0
+
+	epoch := sd.ctr.Current() + 1
+	tw0 := sd.cfg.Telemetry.Now()
+	if err := sd.d.appendWAL(sd.wal, &sd.walSize, epoch, reqs, sd.cfg.WALRows, sd.cfg.BlockSize); err != nil {
+		return nil, err
+	}
+	if err := sd.wal.Sync(); err != nil {
+		return nil, err
+	}
+	sd.telWALAppend.Observe(time.Duration(sd.cfg.Telemetry.Now() - tw0))
+
+	sd.ss.BeginEpoch(epoch)
+	out, err := sd.inner.BatchAccess(reqs)
+	if err != nil {
+		return nil, err
+	}
+	if err := sd.ss.Commit(); err != nil {
+		return nil, err
+	}
+	sd.ctr.Increment()
+	if err := sd.ctr.Err(); err != nil {
+		return nil, fmt.Errorf("persist: epoch counter lost durability: %w", err)
+	}
+	sd.telCommits.Inc()
+	return out, nil
+}
+
+// Export passes through to the wrapped partition.
+func (sd *SegDurable) Export() (ids []uint64, data []byte, err error) {
+	return sd.inner.Export()
+}
+
+// Restore imports a trusted state image (replica resynchronization),
+// replacing the on-disk partition under the current epoch.
+func (sd *SegDurable) Restore(ids []uint64, data []byte) error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.initLocked(ids, data, true)
+}
+
+// Close releases the WAL handle and the segment store's data file.
+// Acknowledged state remains recoverable; Close is not required for
+// durability (kill -9 is the normal shutdown model).
+func (sd *SegDurable) Close() error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	var first error
+	if sd.wal != nil {
+		first = sd.wal.Close()
+		sd.wal = nil
+	}
+	if err := sd.ss.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

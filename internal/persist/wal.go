@@ -164,6 +164,55 @@ func (d *dir) replayWAL(path string, snapEpoch, ctrEpoch uint64, walRows, blockS
 	return offset, nil
 }
 
+// collectWAL reads a single-epoch redo log (SegDurable truncates the log at
+// the start of every batch, so it holds at most one batch's record set) and
+// returns the epoch and concatenated rows of the complete record set at its
+// head, if any. Torn tails, tampered records, interleaved epochs, or
+// out-of-order parts all yield complete == false rather than an error: the
+// redo log only ever describes a batch the counter has NOT acknowledged, so
+// an unreadable log means "nothing to roll forward", never an integrity
+// violation — the acknowledged state lives in the segment store, which is
+// verified separately.
+func (d *dir) collectWAL(path string, walRows, blockSize int) (epoch uint64, rows []byte, complete bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	rowLen := wirecode.KVRowLen(blockSize)
+	recLen := int64(recordLen(walPrefixLen, walRows*rowLen))
+	var offset int64
+	var nextPart uint32
+	first := true
+	for {
+		prefix, rec, err := d.readPrefixed(r, walContext, walPrefixLen, walRows*rowLen, offset)
+		if err != nil {
+			return 0, nil, false, nil
+		}
+		e := binary.LittleEndian.Uint64(prefix[0:8])
+		p := binary.LittleEndian.Uint32(prefix[8:12])
+		last := prefix[12] == 1
+		if first {
+			epoch, first = e, false
+		} else if e != epoch {
+			return 0, nil, false, nil
+		}
+		if p != nextPart {
+			return 0, nil, false, nil
+		}
+		rows = append(rows, rec...)
+		offset += recLen
+		if last {
+			return epoch, rows, true, nil
+		}
+		nextPart = p + 1
+	}
+}
+
 // applyRows folds one WAL record's rows into a partition image: rows whose
 // key is outside the dummy space overwrite the block of the matching
 // object; writes to unknown keys are no-ops (matching batch semantics).

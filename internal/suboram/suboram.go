@@ -45,6 +45,13 @@ type Config struct {
 	// in-enclave digests (paper §7). Slower, but models the real deployment
 	// where the partition exceeds the EPC.
 	Sealed bool
+	// Store, when non-nil, keeps the partition in a disk-resident sealed
+	// block store (internal/segstore) instead of memory: the linear scan
+	// streams sealed segments through a pooled buffer, so the partition can
+	// exceed memory by orders of magnitude. Mutually exclusive with Sealed.
+	// Only object identifiers stay resident. The scan's I/O pattern remains
+	// a function of public parameters (partition size, segment geometry).
+	Store BlockStore
 	// Rec, when non-nil, records the batch access trace. Test-only;
 	// requires Workers == 1.
 	Rec *trace.Recorder
@@ -58,6 +65,36 @@ type Config struct {
 	// batch/row counters. One recording per batch, payloads are the public
 	// padded batch size α — never request contents; nil disables recording.
 	Telemetry *telemetry.Registry
+}
+
+// BlockStore is the contract a disk-resident partition backend must meet
+// (satisfied by *segstore.Store). The scan callback signature is spelled
+// literally so implementations need no types from this package.
+//
+// Obliviousness contract: Scan must stream blocks [lo, hi) in a fixed order
+// with an I/O pattern that is a function of (lo, hi) and public geometry
+// only — never of block contents or of what fn does to them — and must
+// invoke fn on every block exactly once, writing every block back whether
+// or not fn changed it.
+type BlockStore interface {
+	// Format sizes the store for n blocks (zeroed); prior contents are
+	// replaced.
+	Format(n int) error
+	// NumBlocks returns the formatted partition size in blocks.
+	NumBlocks() int
+	// ScanAlign returns the block alignment scan ranges must honor; worker
+	// splits round to it so each segment is streamed by exactly one worker.
+	ScanAlign() int
+	// Scan streams blocks [lo, hi), applying fn to each block in place and
+	// writing every block back. lo and hi must be ScanAlign()-aligned
+	// (hi == NumBlocks() is always allowed). Concurrent calls over disjoint
+	// aligned ranges must be safe.
+	Scan(lo, hi int, fn func(i int, blk []byte)) error
+	// LoadRange bulk-writes packed block data starting at block index start.
+	LoadRange(start int, data []byte) error
+	// ReadBlock copies block i into dst (export/recovery path, not the
+	// batch hot path).
+	ReadBlock(i int, dst []byte) error
 }
 
 // Stats reports where a batch spent its time (paper Fig. 12's "SubORAM
@@ -91,6 +128,13 @@ type SubORAM struct {
 	// scan workers run while mu is held by BatchAccess.
 	sealedMu   sync.Mutex
 	sealedBufs [][]byte
+
+	// Store-scan callback plumbing: one prebound closure per worker,
+	// created once in New so steady-state store scans allocate nothing. The
+	// closure reads its table through storeCtx (set per batch under mu,
+	// before workers start).
+	storeCtx []storeScanCtx
+	storeFns []func(i int, blk []byte)
 
 	// Telemetry instruments, resolved once at construction; all nil (and
 	// no-ops) when Config.Telemetry is nil.
@@ -134,10 +178,13 @@ func New(cfg Config) *SubORAM {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.Store != nil && cfg.Sealed {
+		panic("suboram: Store and Sealed are mutually exclusive")
+	}
 	hp := cfg.Hash
 	hp.Rec = cfg.Rec
 	hp.Pool = cfg.Pool
-	return &SubORAM{
+	s := &SubORAM{
 		cfg:        cfg,
 		builder:    ohash.NewBuilder(hp),
 		zeroBlk:    make([]byte, cfg.BlockSize),
@@ -147,6 +194,22 @@ func New(cfg Config) *SubORAM {
 		telBatches: cfg.Telemetry.Counter("suboram_batches_total"),
 		telRows:    cfg.Telemetry.Counter("suboram_rows_total"),
 	}
+	if cfg.Store != nil {
+		s.storeCtx = make([]storeScanCtx, cfg.Workers)
+		s.storeFns = make([]func(i int, blk []byte), cfg.Workers)
+		for w := range s.storeFns {
+			w := w
+			s.storeFns[w] = func(i int, blk []byte) {
+				s.scanOne(s.storeCtx[w].table, i, blk)
+			}
+		}
+	}
+	return s
+}
+
+// storeScanCtx carries one store-scan worker's per-batch table binding.
+type storeScanCtx struct {
+	table *ohash.Table
 }
 
 // pool returns the configured arena, defaulting to the process-wide one.
@@ -182,6 +245,20 @@ func (s *SubORAM) load(ids []uint64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ids = append([]uint64(nil), ids...)
+	if s.cfg.Store != nil {
+		// Disk-resident: size the store for the partition and stream the
+		// values in. Only the identifiers stay memory-resident (they drive
+		// the bucket addressing and must not hit the disk in the clear).
+		if err := s.cfg.Store.Format(len(ids)); err != nil {
+			return err
+		}
+		if err := s.cfg.Store.LoadRange(0, data); err != nil {
+			return err
+		}
+		s.plain = nil
+		s.sealed = nil
+		return nil
+	}
 	if s.cfg.Sealed {
 		st, err := enclave.NewSealedStore(len(ids), s.cfg.BlockSize)
 		if err != nil {
@@ -292,7 +369,7 @@ func (s *SubORAM) scan(table *ohash.Table) error {
 		workers = maxInt(1, n)
 	}
 	if workers <= 1 || n == 0 {
-		return s.scanRange(table, 0, n)
+		return s.scanRange(table, 0, n, 0)
 	}
 
 	// Worker table copies come from the arena (the structs themselves are
@@ -313,6 +390,13 @@ func (s *SubORAM) scan(table *ohash.Table) error {
 	}
 	var wg sync.WaitGroup
 	per := (n + workers - 1) / workers
+	if s.cfg.Store != nil {
+		// Store ranges split on segment boundaries so every sealed segment
+		// is streamed by exactly one worker — the split depends only on
+		// public geometry (n, workers, segment size).
+		align := s.cfg.Store.ScanAlign()
+		per = (per + align - 1) / align * align
+	}
 	for w := 0; w < workers; w++ {
 		lo, hi := w*per, minInt((w+1)*per, n)
 		if lo >= hi {
@@ -327,7 +411,7 @@ func (s *SubORAM) scan(table *ohash.Table) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[w] = s.scanRange(tbl, lo, hi)
+			errs[w] = s.scanRange(tbl, lo, hi, w)
 		}()
 	}
 	wg.Wait()
@@ -361,8 +445,13 @@ func mergeTier(dst, src *store.Requests) {
 	}
 }
 
-// scanRange scans objects [lo, hi) against the table.
-func (s *SubORAM) scanRange(table *ohash.Table, lo, hi int) error {
+// scanRange scans objects [lo, hi) against the table; w is the worker index
+// (selects the prebound store-scan closure in store mode).
+func (s *SubORAM) scanRange(table *ohash.Table, lo, hi, w int) error {
+	if s.cfg.Store != nil {
+		s.storeCtx[w].table = table
+		return s.cfg.Store.Scan(lo, hi, s.storeFns[w])
+	}
 	if s.sealed != nil {
 		return s.scanRangeSealed(table, lo, hi)
 	}
@@ -485,6 +574,27 @@ func (s *SubORAM) Restore(ids []uint64, data []byte) error {
 	return s.load(ids, data)
 }
 
+// RestoreFromStore adopts an already-populated disk-resident partition: the
+// block values live in the configured Store (authenticated and
+// rollback-checked by the persistence layer before this call) and only the
+// identifier set is loaded. This is the crash-recovery path for store-mode
+// partitions, where re-streaming every value through Restore would double
+// the recovery I/O for no benefit.
+func (s *SubORAM) RestoreFromStore(ids []uint64) error {
+	if s.cfg.Store == nil {
+		return fmt.Errorf("suboram: RestoreFromStore without a configured store")
+	}
+	if got := s.cfg.Store.NumBlocks(); got != len(ids) {
+		return fmt.Errorf("suboram: store holds %d blocks, identifier set names %d", got, len(ids))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ids = append([]uint64(nil), ids...)
+	s.plain = nil
+	s.sealed = nil
+	return nil
+}
+
 // Export returns a copy of the partition contents (ids and packed data) —
 // the state-migration path used when switching subORAM engines
 // (internal/adaptive) and by replication tooling.
@@ -493,6 +603,14 @@ func (s *SubORAM) Export() (ids []uint64, data []byte, err error) {
 	defer s.mu.Unlock()
 	ids = append([]uint64(nil), s.ids...)
 	data = make([]byte, len(s.ids)*s.cfg.BlockSize)
+	if s.cfg.Store != nil {
+		for i := range s.ids {
+			if err := s.cfg.Store.ReadBlock(i, data[i*s.cfg.BlockSize:(i+1)*s.cfg.BlockSize]); err != nil {
+				return nil, nil, err
+			}
+		}
+		return ids, data, nil
+	}
 	if s.sealed != nil {
 		for i := range s.ids {
 			if err := s.sealed.Read(i, data[i*s.cfg.BlockSize:(i+1)*s.cfg.BlockSize]); err != nil {

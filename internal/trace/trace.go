@@ -24,6 +24,13 @@ const (
 	// disk observes must likewise be independent of request contents.
 	KindFileRead  uint8 = 4 // read of (offset, length) from a state file
 	KindFileWrite uint8 = 5 // write of (offset, length) to a state file
+	// Segment events record the disk-resident partition store's I/O
+	// (internal/segstore) as (byte offset, length) pairs within the segment
+	// data file. Every segment I/O is a full-slot transfer, so the offset
+	// identifies the (segment, epoch-parity slot) and the length is the
+	// fixed sealed slot size — both functions of public parameters only.
+	KindSegRead  uint8 = 6 // full-slot read at (offset, length)
+	KindSegWrite uint8 = 7 // full-slot write at (offset, length)
 )
 
 // Recorder accumulates an access trace as a running hash (position data

@@ -11,6 +11,11 @@
 # stage-duration histograms, and the per-epoch stage spans showing where
 # epoch time goes (stage A batching, per-partition stage B, stage C match).
 #
+# Finally emits results/BENCH_segstore.json: memory-resident vs
+# disk-resident (internal/segstore) scan throughput across segment sizes,
+# with the steady-state allocation count of the streaming scan loop (must
+# be zero).
+#
 # Usage: scripts/bench.sh [benchtime]   (default 2x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,3 +50,6 @@ echo "wrote results/BENCH_dataplane.json"
 
 go run ./cmd/snoopy-bench -observability results/BENCH_observability.json
 echo "wrote results/BENCH_observability.json"
+
+go run ./cmd/snoopy-bench -segstore results/BENCH_segstore.json
+echo "wrote results/BENCH_segstore.json"

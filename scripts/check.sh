@@ -13,6 +13,7 @@ go vet ./...
 # needs well over go test's default 10m, hence the explicit timeout.
 go test -race -timeout 45m \
   ./internal/persist/... \
+  ./internal/segstore/... \
   ./internal/replica/... \
   ./internal/transport/... \
   ./internal/faultnet/... \

@@ -1,0 +1,151 @@
+package snoopy_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"snoopy"
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+)
+
+// TestDiskResidentServerSurvivesKill9 is the disk-resident counterpart of
+// TestServerSurvivesKill9: the real snoopy-server binary with
+// -disk-resident keeps the partition in sealed on-disk segments far larger
+// than its streaming buffer, is killed with SIGKILL mid-deployment, and
+// must recover the last acknowledged write on restart. It then rolls the
+// segment data file back to an authentic-but-stale copy — the per-segment
+// rollback attack the epoch-stamped slots exist to catch — and verifies the
+// server refuses to start.
+func TestDiskResidentServerSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := t.TempDir()
+	out, err := exec.Command("go", "build", "-o", filepath.Join(bin, "snoopy-server"), "./cmd/snoopy-server").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build snoopy-server: %v\n%s", err, out)
+	}
+	key := crypt.MustNewKey()
+	platformHex := hex.EncodeToString(key[:])
+	platform := enclave.NewPlatformFromKey(key)
+	measurement := snoopy.Measure("snoopy-suboram-v1")
+	dataDir := filepath.Join(t.TempDir(), "part0")
+
+	// 2048-byte segments of 64-byte blocks = 32 blocks per streaming
+	// buffer; 512 objects make the partition 16× larger than the buffer.
+	startServer := func(addr string) (*exec.Cmd, *bytes.Buffer) {
+		var log bytes.Buffer
+		srv := exec.Command(filepath.Join(bin, "snoopy-server"),
+			"-listen", addr, "-block", "64", "-platform", platformHex,
+			"-data", dataDir, "-disk-resident", "-segment-bytes", "2048")
+		srv.Stdout = &log
+		srv.Stderr = &log
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return srv, &log
+	}
+	openStore := func(addr string) *snoopy.Store {
+		sub, err := snoopy.DialSubORAM(addr, platform, measurement)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		st, err := snoopy.OpenWithSubORAMs(snoopy.Config{BlockSize: 64, Epoch: 5 * time.Millisecond}, []snoopy.SubORAM{sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	segDataPath := func() string {
+		matches, err := filepath.Glob(filepath.Join(dataDir, "segments", "segments-*.dat"))
+		if err != nil || len(matches) != 1 {
+			t.Fatalf("segment data file: matches=%v err=%v", matches, err)
+		}
+		return matches[0]
+	}
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv, _ := startServer(addr)
+	waitListening(t, addr)
+
+	st := openStore(addr)
+	objects := map[uint64][]byte{}
+	for id := uint64(1); id <= 512; id++ {
+		objects[id] = []byte(fmt.Sprintf("object-%d-initial", id))
+	}
+	if err := st.Load(objects); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Authentic-but-stale snapshot of the segment slots for the rollback
+	// attack at the end.
+	staleData, err := os.ReadFile(segDataPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acknowledged write the crash must not lose.
+	if _, _, err := st.Write(42, []byte("written-before-crash")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	st.Close()
+
+	// kill -9: no shutdown path runs.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+
+	addr2 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv2, log2 := startServer(addr2)
+	defer func() { srv2.Process.Kill(); srv2.Wait() }()
+	waitListening(t, addr2)
+
+	st2 := openStore(addr2)
+	got, ok, err := st2.Read(42)
+	if err != nil || !ok {
+		t.Fatalf("Read(42) after restart: ok=%v err=%v", ok, err)
+	}
+	if want := "written-before-crash"; !bytes.HasPrefix(got, []byte(want)) {
+		t.Fatalf("Read(42) = %q, want prefix %q", got, want)
+	}
+	got, ok, err = st2.Read(7)
+	if err != nil || !ok || !bytes.HasPrefix(got, []byte("object-7-initial")) {
+		t.Fatalf("Read(7) after restart = %q ok=%v err=%v", got, ok, err)
+	}
+	st2.Close()
+	if !bytes.Contains(log2.Bytes(), []byte("recovered disk-resident partition")) {
+		t.Fatalf("restarted server did not report disk-resident recovery:\n%s", log2.String())
+	}
+
+	// Per-segment rollback: restore the stale (pre-write) segment slots
+	// under the current registry and counter. Every slot authenticates
+	// under the sealing key, but carries an older epoch than its registry
+	// entry demands — recovery must refuse to serve it.
+	srv2.Process.Kill()
+	srv2.Wait()
+	if err := os.WriteFile(segDataPath(), staleData, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	addr3 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv3, log3 := startServer(addr3)
+	done := make(chan error, 1)
+	go func() { done <- srv3.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("server started on rolled-back segments:\n%s", log3.String())
+		}
+	case <-time.After(10 * time.Second):
+		srv3.Process.Kill()
+		t.Fatalf("server did not exit on rolled-back segments:\n%s", log3.String())
+	}
+	if !bytes.Contains(log3.Bytes(), []byte("unusable")) {
+		t.Fatalf("rolled-back-state failure not reported:\n%s", log3.String())
+	}
+}

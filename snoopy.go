@@ -74,6 +74,19 @@ type Config struct {
 	// subORAMs (OpenWithSubORAMs) persist on their own hosts via
 	// `snoopy-server -data`.
 	DataDir string
+	// DiskResident keeps partition contents on disk in sealed fixed-shape
+	// segments (internal/segstore) instead of resident memory, so a
+	// partition can be far larger than RAM: each batch streams every
+	// segment through a small pooled buffer. Requires DataDir and is
+	// mutually exclusive with Sealed (the segment store is already
+	// enclave-external sealed storage). The I/O schedule is a function of
+	// public parameters only.
+	DiskResident bool
+	// SegmentBytes is the approximate sealed-segment payload size in bytes
+	// for DiskResident deployments (rounded down to a whole number of
+	// blocks; default 512 blocks' worth). It is a public tuning parameter
+	// trading scan-buffer memory against per-segment I/O overhead.
+	SegmentBytes int
 	// FailoverAfter, together with Failover, enables automatic partition
 	// repair: after a partition fails this many consecutive epochs, the
 	// store calls Failover in the background to obtain a replacement
@@ -132,6 +145,8 @@ func Open(cfg Config) (*Store, error) {
 		Sealed:           cfg.Sealed,
 		Pipeline:         cfg.Pipeline,
 		DataDir:          cfg.DataDir,
+		DiskResident:     cfg.DiskResident,
+		SegmentBytes:     cfg.SegmentBytes,
 		FailoverAfter:    cfg.FailoverAfter,
 		Failover:         cfg.Failover,
 		OnFailover:       cfg.OnFailover,
