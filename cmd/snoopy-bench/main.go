@@ -109,7 +109,17 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full data sizes (hours of runtime)")
 	observability := flag.String("observability", "", "instead of a figure, run an instrumented deployment and write its telemetry snapshot (counters, histograms, epoch stage spans) to this JSON file")
 	segstoreOut := flag.String("segstore", "", "instead of a figure, compare memory-resident vs disk-resident (internal/segstore) scan throughput across segment sizes and write the comparison to this JSON file")
+	lbtreeOut := flag.String("lbtree", "", "instead of a figure, benchmark the monolithic load balancer against 1/2/4/8-leaf aggregation trees and write the comparison to this JSON file")
 	flag.Parse()
+
+	if *lbtreeOut != "" {
+		if err := runLBTree(*lbtreeOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lbtree run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("lb tree comparison written to %s\n", *lbtreeOut)
+		return
+	}
 
 	if *segstoreOut != "" {
 		if err := runSegstore(*segstoreOut); err != nil {

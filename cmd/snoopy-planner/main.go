@@ -23,6 +23,7 @@ func main() {
 	subPrice := flag.Float64("sub-price", 420, "subORAM node $/month")
 	maxLB := flag.Int("max-lb", 10, "search bound: load balancers")
 	maxSub := flag.Int("max-sub", 40, "search bound: subORAMs")
+	maxLeaves := flag.Int("max-leaves", 8, "search bound: leaf load balancers per plane (1 = monolithic only)")
 	flag.Parse()
 
 	fmt.Println("calibrating component costs on this machine...")
@@ -34,6 +35,7 @@ func main() {
 		MaxLatency:       *latency,
 		MaxLoadBalancers: *maxLB,
 		MaxSubORAMs:      *maxSub,
+		MaxLBLeaves:      *maxLeaves,
 	}, model, planner.Prices{LoadBalancer: *lbPrice, SubORAM: *subPrice})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -41,10 +43,5 @@ func main() {
 	}
 	fmt.Printf("recommended configuration for %d x %dB objects, >=%.0f reqs/s, <=%v avg latency:\n",
 		*objects, *block, *throughput, *latency)
-	fmt.Printf("  load balancers: %d\n", plan.LoadBalancers)
-	fmt.Printf("  subORAMs:       %d\n", plan.SubORAMs)
-	fmt.Printf("  epoch:          %v\n", plan.Epoch.Round(time.Millisecond))
-	fmt.Printf("  avg latency:    %v\n", plan.AvgLatency.Round(time.Millisecond))
-	fmt.Printf("  throughput:     %.0f reqs/s\n", plan.Throughput)
-	fmt.Printf("  cost:           $%.0f/month (%d machines)\n", plan.CostPerMonth, plan.Machines())
+	fmt.Print(plan.Format())
 }

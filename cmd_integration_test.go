@@ -17,6 +17,10 @@ import (
 	"time"
 
 	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+	"snoopy/internal/transport"
 )
 
 // TestCommandLineIntegration builds the real binaries and runs a two-server
@@ -297,6 +301,88 @@ func TestTelemetryEndpointIntegration(t *testing.T) {
 		if idx := scrape(addr, "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
 			t.Errorf("pprof index on %s looks wrong:\n%s", addr, idx)
 		}
+	}
+}
+
+// TestLeafServerIntegration runs the real snoopy-server binary in -leaf
+// mode and installs it as one leaf of an in-process aggregation tree: the
+// batches the hybrid tree produces must be row-for-row identical to an
+// all-local tree under the same routing key, proving the binary's leaf role
+// speaks the leaf-run protocol the root expects.
+func TestLeafServerIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCommands(t)
+	pkey := crypt.MustNewKey()
+	lbKey := crypt.MustNewKey()
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	srv := exec.Command(filepath.Join(bin, "snoopy-server"),
+		"-listen", addr, "-leaf", "1", "-lb-leaves", "2",
+		"-suborams", "4", "-lambda", "32", "-block", "64",
+		"-platform", hex.EncodeToString(pkey[:]),
+		"-lb-key", hex.EncodeToString(lbKey[:]))
+	srv.Stdout = os.Stderr
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitListening(t, addr)
+
+	// The server derives its attestation authority from pkey; dial with the
+	// same authority and the leaf role's published measurement.
+	rl, err := transport.DialLeaf(addr, enclave.NewPlatformFromKey(pkey), enclave.Measure("snoopy-leaf-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+
+	cfg := loadbalancer.Config{BlockSize: 64, NumSubORAMs: 4, Lambda: 32}
+	newTree := func() *loadbalancer.Tree {
+		tr, err := loadbalancer.NewTree(loadbalancer.TreeConfig{Config: cfg, Leaves: 2}, lbKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	hybrid := newTree()
+	hybrid.ReplaceLeaf(1, rl)
+	local := newTree()
+
+	feeds := func() []*store.Requests {
+		f0 := store.NewRequests(16, 64)
+		f1 := store.NewRequests(16, 64)
+		for j := 0; j < 16; j++ {
+			f0.SetRow(j, store.OpWrite, uint64(j), 0, uint64(j), uint64(j), []byte(fmt.Sprintf("w%d", j)))
+			f1.SetRow(j, store.OpRead, uint64(j+8), 0, uint64(j), uint64(j), nil)
+		}
+		return []*store.Requests{f0, f1}
+	}
+	for epoch := uint64(1); epoch <= 2; epoch++ {
+		bh, feedErrs, err := hybrid.MakeBatches(epoch, feeds())
+		if err != nil || feedErrs != nil {
+			t.Fatalf("hybrid tree epoch %d: %v %v", epoch, err, feedErrs)
+		}
+		bl, _, err := local.MakeBatches(epoch, feeds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bh.PerSub != bl.PerSub || bh.All.Len() != bl.All.Len() {
+			t.Fatalf("shape mismatch: %d×%d vs %d×%d", bh.PerSub, bh.All.Len(), bl.PerSub, bl.All.Len())
+		}
+		for i := 0; i < bh.All.Len(); i++ {
+			if bh.All.Key[i] != bl.All.Key[i] || bh.All.Op[i] != bl.All.Op[i] ||
+				bh.All.Sub[i] != bl.All.Sub[i] || !bytes.Equal(bh.All.Block(i), bl.All.Block(i)) {
+				t.Fatalf("epoch %d row %d differs between binary leaf and local leaf", epoch, i)
+			}
+		}
+		bh.Release()
+		bl.Release()
 	}
 }
 

@@ -104,7 +104,7 @@ func TestPartitionFailureDegradesGracefully(t *testing.T) {
 	routed := make(map[uint64]int, n)
 	for i := range keys {
 		keys[i] = uint64(i)
-		routed[uint64(i)] = sys.lbs[0].lb.SubORAMFor(uint64(i))
+		routed[uint64(i)] = sys.SubORAMFor(uint64(i))
 	}
 	perPart := make([]int, S)
 	for _, s := range routed {
@@ -165,7 +165,7 @@ func TestStageBDiagnostics(t *testing.T) {
 
 	keys := []uint64{}
 	for k := uint64(0); k < 20; k++ {
-		if sys.lbs[0].lb.SubORAMFor(k) == 1 {
+		if sys.SubORAMFor(k) == 1 {
 			keys = append(keys, k)
 		}
 	}
@@ -209,7 +209,7 @@ func TestOverflowReturnsErrOverflow(t *testing.T) {
 	// per-epoch batch capacity.
 	var keys []uint64
 	for k := uint64(0); len(keys) < 40 && k < 10_000; k++ {
-		if sys.lbs[0].lb.SubORAMFor(k) == 0 {
+		if sys.SubORAMFor(k) == 0 {
 			keys = append(keys, k)
 		}
 	}
@@ -329,7 +329,7 @@ func TestFailoverPromotesStandby(t *testing.T) {
 	}
 	// The standby serves the partition's original contents.
 	for _, k := range keys {
-		if sys.lbs[0].lb.SubORAMFor(k) != 1 {
+		if sys.SubORAMFor(k) != 1 {
 			continue
 		}
 		v, found, err := func() ([]byte, bool, error) {

@@ -142,8 +142,16 @@ type Batches struct {
 	Dropped int
 	// DroppedKeys holds the dropped requests' keys (nil when Dropped == 0)
 	// so the system can fail exactly those requests with an explicit error
-	// instead of silently answering not-found.
+	// instead of silently answering not-found. These drops are global: the
+	// key is absent from the batches, so every feed that requested it is
+	// affected.
 	DroppedKeys []uint64
+	// DroppedByFeed, set only by the tree balancer, holds leaf-local
+	// overflow victims per feed: a key dropped at leaf f may still have
+	// been served via another leaf, so only feed f's requests for it fail.
+	// nil for monolithic balancers and in the (overwhelmingly common)
+	// no-overflow case.
+	DroppedByFeed [][]uint64
 
 	pool *arena.Pool
 }
@@ -167,23 +175,24 @@ func (b *Batches) Release() {
 	batchesPool.Put(b)
 }
 
-// MakeBatches obliviously builds the per-subORAM batches for one epoch from
-// the requests received (paper Fig. 5 / Fig. 25 lines 1–14). The caller
-// must have set Seq to the arrival order (for last-write-wins) and Client
-// to its routing cookie. reqs is not modified; duplicates are allowed.
-func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
-	t0 := time.Now()
-	tt0 := lb.cfg.Telemetry.Now()
-
+// buildRun assembles one sub-major sorted run for an epoch: reqs copied into
+// pooled scratch with subORAM assignment and a public seqBase offset folded
+// into Seq (global last-write-wins order across tree feeds), α dummies
+// appended per subORAM, the whole obliviously sorted by (subORAM, key,
+// write-first, seq-desc), locally deduplicated to the first α distinct keys
+// per subORAM, compacted, and resized to exactly α·S rows. This is both the
+// body of the monolithic MakeBatches (seqBase 0) and the per-leaf stage of
+// the aggregation tree — a leaf's output run is literally a valid batch set,
+// which is what makes the root's merge-of-runs sound.
+//
+// Returns the pooled α·S-row run (caller releases it to lb's pool) and the
+// run's Theorem-3 overflow victims.
+func (lb *LoadBalancer) buildRun(reqs *store.Requests, alpha int, seqBase uint64) (*store.Requests, []uint64, error) {
 	if reqs.BlockSize != lb.cfg.BlockSize {
-		return nil, fmt.Errorf("loadbalancer: block size %d != %d", reqs.BlockSize, lb.cfg.BlockSize)
+		return nil, nil, fmt.Errorf("loadbalancer: block size %d != %d", reqs.BlockSize, lb.cfg.BlockSize)
 	}
 	n := reqs.Len()
 	s := lb.cfg.NumSubORAMs
-	alpha := batch.Size(n, s, lb.cfg.Lambda)
-	if alpha == 0 {
-		alpha = 1 // an idle epoch still sends one dummy per subORAM
-	}
 
 	// ➊ Assign each request to its subORAM; ➋ append α dummies per subORAM.
 	pool := lb.pool()
@@ -192,6 +201,7 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	for i := 0; i < n; i++ {
 		work.CopyRowPlain(i, reqs, i)
 		work.Sub[i] = uint32(lb.SubORAMFor(work.Key[i]))
+		work.Seq[i] = seqBase + reqs.Seq[i]
 	}
 	d := n
 	for sub := 0; sub < s; sub++ {
@@ -210,6 +220,21 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 	// ➍ Keep the first α distinct keys per subORAM, branch-free.
 	keep := pool.GetBits(work.Len())
 	drop := pool.GetBits(work.Len())
+	_, droppedKeys := dedupeKeep(work, alpha, keep, drop)
+	obliv.Compact(work, keep)
+	pool.PutBits(keep)
+	pool.PutBits(drop)
+	work.Resize(alpha * s)
+	return work, droppedKeys, nil
+}
+
+// dedupeKeep marks, branch-free, the first α distinct keys of each subORAM
+// group of the (sub, key, write-first, seq-desc)-sorted work into keep, and
+// the distinct real keys that did not fit — Theorem-3 overflow victims —
+// into drop. Shared by the monolithic balancer, the tree's leaves, and the
+// tree's root (where work is the merge of the leaf runs and duplicate keys
+// span leaves). Returns the victim count and keys.
+func dedupeKeep(work *store.Requests, alpha int, keep, drop []uint8) (int, []uint64) {
 	dropped := 0
 	var distinct uint64
 	prevSub := ^uint64(0)
@@ -244,13 +269,31 @@ func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
 			}
 		}
 	}
-	obliv.Compact(work, keep)
-	pool.PutBits(keep)
-	pool.PutBits(drop)
-	work.Resize(alpha * s)
+	return dropped, droppedKeys
+}
+
+// MakeBatches obliviously builds the per-subORAM batches for one epoch from
+// the requests received (paper Fig. 5 / Fig. 25 lines 1–14). The caller
+// must have set Seq to the arrival order (for last-write-wins) and Client
+// to its routing cookie. reqs is not modified; duplicates are allowed.
+func (lb *LoadBalancer) MakeBatches(reqs *store.Requests) (*Batches, error) {
+	t0 := time.Now()
+	tt0 := lb.cfg.Telemetry.Now()
+
+	n := reqs.Len()
+	s := lb.cfg.NumSubORAMs
+	alpha := batch.Size(n, s, lb.cfg.Lambda)
+	if alpha == 0 {
+		alpha = 1 // an idle epoch still sends one dummy per subORAM
+	}
+	work, droppedKeys, err := lb.buildRun(reqs, alpha, 0)
+	if err != nil {
+		return nil, err
+	}
+	dropped := len(droppedKeys)
 
 	b := batchesPool.Get().(*Batches)
-	*b = Batches{All: work, PerSub: alpha, Dropped: dropped, DroppedKeys: droppedKeys, pool: pool}
+	*b = Batches{All: work, PerSub: alpha, Dropped: dropped, DroppedKeys: droppedKeys, pool: lb.pool()}
 
 	lb.statsMu.Lock()
 	lb.last.MakeBatch = time.Since(t0)

@@ -286,6 +286,24 @@ func (r *Requests) View(lo, hi int) *Requests {
 	}
 }
 
+// ViewInto fills dst with the window [lo, hi) of r sharing the same backing
+// arrays — View without the allocation, for callers that keep the window
+// struct in preallocated scratch (the load-balancer tree's per-leaf run
+// segments). Like View, the trace recorder is not shared.
+func (r *Requests) ViewInto(dst *Requests, lo, hi int) {
+	*dst = Requests{
+		BlockSize: r.BlockSize,
+		Op:        r.Op[lo:hi],
+		Key:       r.Key[lo:hi],
+		Sub:       r.Sub[lo:hi],
+		Tag:       r.Tag[lo:hi],
+		Aux:       r.Aux[lo:hi],
+		Seq:       r.Seq[lo:hi],
+		Client:    r.Client[lo:hi],
+		Data:      r.Data[lo*r.BlockSize : hi*r.BlockSize],
+	}
+}
+
 // Clone returns a deep copy of r.
 func (r *Requests) Clone() *Requests {
 	c := NewRequests(r.Len(), r.BlockSize)

@@ -1,0 +1,218 @@
+// Leaf-run forwarding: the aggregation tree's leaf load balancers can run
+// on their own machines, each obliviously sorting + locally deduplicating
+// its clients' requests and forwarding the sealed sorted run to the root
+// over the same attested, sealed channel the subORAM protocol uses. Only
+// the run's shape travels in the clear-visible frame length, and that shape
+// (α_f·S rows) is a closed-form function of public configuration — the
+// per-feed rate, subORAM count, and λ — exactly like a batch frame.
+//
+// A run request is a control frame carrying the public parameters (epoch,
+// α, sequence base, run length) followed by one delivery-tagged request
+// frame. The reply is a control frame with the (rare) overflow victims
+// followed by the run as a response frame. Run building is a stateless
+// transformation of the request snapshot, so retries after an ambiguous
+// failure simply rebuild — no replay cache is needed.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/enclave"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+)
+
+// maxRunRows bounds a requested run length so a malicious root cannot force
+// unbounded allocation; generous against any real α·S.
+const maxRunRows = 1 << 22
+
+// RemoteLeaf is a loadbalancer.LeafBalancer reached over an attested
+// channel: the root installs it in its Tree (Tree.ReplaceLeaf) and the leaf
+// machine runs ServeLeaf. It reuses the subORAM handle's redial/retry/
+// backoff machinery; Ping makes it probeable by a cluster Supervisor.
+type RemoteLeaf struct {
+	r *RemoteSubORAM
+}
+
+// DialLeaf connects to a leaf load-balancer server, verifying that the peer
+// attests to the expected measurement.
+func DialLeaf(addr string, platform *enclave.Platform, want enclave.Measurement) (*RemoteLeaf, error) {
+	return DialLeafOptions(addr, platform, want, Options{})
+}
+
+// DialLeafOptions is DialLeaf with explicit failure-handling parameters.
+func DialLeafOptions(addr string, platform *enclave.Platform, want enclave.Measurement, opts Options) (*RemoteLeaf, error) {
+	r, err := DialOptions(addr, platform, want, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteLeaf{r: r}, nil
+}
+
+// BuildRun implements loadbalancer.LeafBalancer: it ships the feed's
+// request snapshot to the remote leaf and copies the returned α·S run into
+// dst, returning the leaf-local overflow victims.
+func (rl *RemoteLeaf) BuildRun(epoch uint64, reqs *store.Requests, alpha int, seqBase uint64, dst *store.Requests) ([]uint64, error) {
+	r := rl.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	seq := r.seq
+	var dropped []uint64
+	err := r.withRetry(r.opts.RPCTimeout, func(sc *secureConn) error {
+		if err := sc.send(&message{Kind: "run", IDs: []uint64{epoch, uint64(alpha), seqBase, uint64(dst.Len())}}); err != nil {
+			return err
+		}
+		if err := sc.sendReqs(tagBatch, r.lbID, seq, reqs); err != nil {
+			return err
+		}
+		reply, err := sc.recv()
+		if err != nil {
+			return err
+		}
+		switch reply.Kind {
+		case "err":
+			return &RemoteError{Msg: reply.Error}
+		case "ok":
+			dropped = reply.IDs
+		default:
+			return fmt.Errorf("transport: unexpected run reply %q", reply.Kind)
+		}
+		run, err := sc.recv()
+		if err != nil {
+			return err
+		}
+		if run.Kind != "resp" {
+			return fmt.Errorf("transport: unexpected run payload %q", run.Kind)
+		}
+		if run.lbID != r.lbID || run.seq != seq {
+			arena.Default.PutRequests(run.reqs)
+			return fmt.Errorf("transport: run tag (%#x,%d) does not match request (%#x,%d)",
+				run.lbID, run.seq, r.lbID, seq)
+		}
+		if run.reqs.Len() != dst.Len() || run.reqs.BlockSize != dst.BlockSize {
+			n, bs := run.reqs.Len(), run.reqs.BlockSize
+			arena.Default.PutRequests(run.reqs)
+			return fmt.Errorf("transport: run shape %d×%d does not match expected %d×%d",
+				n, bs, dst.Len(), dst.BlockSize)
+		}
+		dst.CopyRowsPlain(0, run.reqs)
+		arena.Default.PutRequests(run.reqs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dropped, nil
+}
+
+// Ping probes the leaf's liveness over the attested channel (for a cluster
+// Supervisor's Watch loop).
+func (rl *RemoteLeaf) Ping(timeout time.Duration) error { return rl.r.Ping(timeout) }
+
+// Close tears down the connection.
+func (rl *RemoteLeaf) Close() error { return rl.r.Close() }
+
+// ServeLeaf accepts connections on l and serves leaf-run requests against
+// leaf until the listener closes, with the same attested handshake as
+// ServeSubORAM.
+func ServeLeaf(l net.Listener, leaf loadbalancer.LeafBalancer, platform *enclave.Platform, m enclave.Measurement) error {
+	return ServeLeafOptions(l, leaf, platform, m, ServeOptions{})
+}
+
+// ServeLeafOptions is ServeLeaf with explicit failure-handling parameters.
+func ServeLeafOptions(l net.Listener, leaf loadbalancer.LeafBalancer, platform *enclave.Platform, m enclave.Measurement, opts ServeOptions) error {
+	opts = opts.withDefaults()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
+			sc, err := serverHandshake(conn, platform, m)
+			if err != nil {
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			opts.tel.conns.Inc()
+			serveLeafConn(sc, leaf, opts)
+		}()
+	}
+}
+
+func serveLeafConn(sc *secureConn, leaf loadbalancer.LeafBalancer, opts ServeOptions) {
+	for {
+		if opts.IdleTimeout > 0 {
+			sc.conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+		}
+		m, err := sc.recv()
+		if err != nil {
+			return
+		}
+		sc.conn.SetReadDeadline(time.Time{})
+		sc.conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+		switch m.Kind {
+		case "ping":
+			opts.tel.pings.Inc()
+			if err := sc.send(&message{Kind: "ok"}); err != nil {
+				return
+			}
+		case "run":
+			// One counter bump and one latency observation per run frame —
+			// events the host already sees on the wire.
+			opts.tel.batches.Inc()
+			tb0 := opts.Telemetry.Now()
+			if len(m.IDs) != 4 {
+				if err := sc.send(&message{Kind: "err", Error: "malformed run parameters"}); err != nil {
+					return
+				}
+				break
+			}
+			epoch, alpha, seqBase, runLen := m.IDs[0], m.IDs[1], m.IDs[2], m.IDs[3]
+			b, err := sc.recv()
+			if err != nil {
+				return
+			}
+			if b.Kind != "batch" || runLen > maxRunRows {
+				arena.Default.PutRequests(b.reqs)
+				if err := sc.send(&message{Kind: "err", Error: "malformed run request"}); err != nil {
+					return
+				}
+				break
+			}
+			dst := arena.Default.GetRequests(int(runLen), b.reqs.BlockSize)
+			dropped, err := leaf.BuildRun(epoch, b.reqs, int(alpha), seqBase, dst)
+			arena.Default.PutRequests(b.reqs)
+			if err != nil {
+				arena.Default.PutRequests(dst)
+				if err := sc.send(&message{Kind: "err", Error: err.Error()}); err != nil {
+					return
+				}
+				break
+			}
+			opts.tel.batchDur.Observe(time.Duration(opts.Telemetry.Now() - tb0))
+			sendErr := sc.send(&message{Kind: "ok", IDs: dropped})
+			if sendErr == nil {
+				sendErr = sc.sendReqs(tagResp, b.lbID, b.seq, dst)
+			}
+			arena.Default.PutRequests(dst)
+			if sendErr != nil {
+				return
+			}
+		default:
+			if err := sc.send(&message{Kind: "err", Error: "unknown message kind"}); err != nil {
+				return
+			}
+		}
+		sc.conn.SetWriteDeadline(time.Time{})
+	}
+}

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+)
+
+func startLeafServer(t *testing.T, leaf loadbalancer.LeafBalancer, platform *enclave.Platform, m enclave.Measurement) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go ServeLeaf(l, leaf, platform, m)
+	return l.Addr().String()
+}
+
+func leafFeeds(t *testing.T) []*store.Requests {
+	t.Helper()
+	f0 := store.NewRequests(20, testBlock)
+	for j := 0; j < 20; j++ {
+		f0.SetRow(j, store.OpWrite, uint64(j), 0, uint64(j), uint64(j), []byte(fmt.Sprintf("f0-%d", j)))
+	}
+	f1 := store.NewRequests(20, testBlock)
+	for j := 0; j < 20; j++ {
+		f1.SetRow(j, store.OpRead, uint64(j+10), 0, uint64(j), uint64(j), nil)
+	}
+	return []*store.Requests{f0, f1}
+}
+
+// TestRemoteLeafMatchesLocalTree drives a two-leaf aggregation tree whose
+// second leaf runs behind the attested transport and checks the produced
+// batches are row-for-row identical to an all-local tree under the same
+// routing key: forwarding sealed sorted runs over the wire must be
+// semantically invisible to the root.
+func TestRemoteLeafMatchesLocalTree(t *testing.T) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-leaf")
+	key := crypt.MustNewKey()
+	cfg := loadbalancer.Config{BlockSize: testBlock, NumSubORAMs: 4, Lambda: 32}
+
+	addr := startLeafServer(t, loadbalancer.NewLeaf(cfg, key, 1), platform, m)
+	rl, err := DialLeaf(addr, platform, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+
+	newTree := func() *loadbalancer.Tree {
+		tr, err := loadbalancer.NewTree(loadbalancer.TreeConfig{Config: cfg, Leaves: 2}, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	remote := newTree()
+	remote.ReplaceLeaf(1, rl)
+	local := newTree()
+
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		feeds := leafFeeds(t)
+		br, feedErrs, err := remote.MakeBatches(epoch, feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if feedErrs != nil {
+			t.Fatalf("remote leaf failed: %v", feedErrs)
+		}
+		bl, _, err := local.MakeBatches(epoch, feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.PerSub != bl.PerSub || br.All.Len() != bl.All.Len() {
+			t.Fatalf("shape mismatch: remote %d×%d local %d×%d", br.PerSub, br.All.Len(), bl.PerSub, bl.All.Len())
+		}
+		for i := 0; i < br.All.Len(); i++ {
+			if br.All.Key[i] != bl.All.Key[i] || br.All.Op[i] != bl.All.Op[i] ||
+				br.All.Sub[i] != bl.All.Sub[i] || !bytes.Equal(br.All.Block(i), bl.All.Block(i)) {
+				t.Fatalf("epoch %d row %d differs: remote (%#x op%d sub%d) local (%#x op%d sub%d)",
+					epoch, i, br.All.Key[i], br.All.Op[i], br.All.Sub[i],
+					bl.All.Key[i], bl.All.Op[i], bl.All.Sub[i])
+			}
+		}
+		br.Release()
+		bl.Release()
+	}
+}
+
+// TestRemoteLeafFailureIsolated kills the remote leaf's server and checks
+// the tree degrades exactly like a local leaf failure: only that feed gets
+// an error, the epoch proceeds, and the batch shape is unchanged.
+func TestRemoteLeafFailureIsolated(t *testing.T) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-leaf")
+	key := crypt.MustNewKey()
+	cfg := loadbalancer.Config{BlockSize: testBlock, NumSubORAMs: 4, Lambda: 32}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ServeLeaf(l, loadbalancer.NewLeaf(cfg, key, 1), platform, m)
+	rl, err := DialLeafOptions(l.Addr().String(), platform, m, Options{}.NoRetries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+	if err := rl.Ping(0); err != nil {
+		t.Fatalf("ping before failure: %v", err)
+	}
+
+	tr, err := loadbalancer.NewTree(loadbalancer.TreeConfig{Config: cfg, Leaves: 2}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ReplaceLeaf(1, rl)
+
+	l.Close()
+	rl.Close() // sever the live channel; NoRetries makes the failure immediate
+
+	feeds := leafFeeds(t)
+	b, feedErrs, err := tr.MakeBatches(1, feeds)
+	if err != nil {
+		t.Fatalf("plane-wide failure from one dead leaf: %v", err)
+	}
+	if feedErrs == nil || feedErrs[1] == nil {
+		t.Fatalf("dead remote leaf not isolated: %v", feedErrs)
+	}
+	if feedErrs[0] != nil {
+		t.Fatalf("healthy leaf failed: %v", feedErrs[0])
+	}
+	if b.PerSub != tr.BatchSize(40) {
+		t.Fatalf("batch shape changed on failure: %d != %d", b.PerSub, tr.BatchSize(40))
+	}
+	// Feed 1's exclusive keys (20..29) must be absent; feed 0's present.
+	seen := map[uint64]bool{}
+	for i := 0; i < b.All.Len(); i++ {
+		if b.All.Key[i]&store.DummyKeyBit == 0 {
+			seen[b.All.Key[i]] = true
+		}
+	}
+	for k := uint64(0); k < 20; k++ {
+		if !seen[k] {
+			t.Fatalf("healthy feed's key %d missing", k)
+		}
+	}
+	for k := uint64(20); k < 30; k++ {
+		if seen[k] {
+			t.Fatalf("dead feed's key %d leaked into batches", k)
+		}
+	}
+	b.Release()
+}

@@ -11,10 +11,16 @@
 # stage-duration histograms, and the per-epoch stage spans showing where
 # epoch time goes (stage A batching, per-partition stage B, stage C match).
 #
-# Finally emits results/BENCH_segstore.json: memory-resident vs
+# Also emits results/BENCH_segstore.json: memory-resident vs
 # disk-resident (internal/segstore) scan throughput across segment sizes,
 # with the steady-state allocation count of the streaming scan loop (must
 # be zero).
+#
+# Finally emits results/BENCH_lbtree.json: monolithic load balancer vs
+# 1/2/4/8-leaf hierarchical aggregation trees — MakeBatches wall time,
+# steady-state B/op and allocs/op (must be zero), and the root-level
+# compare-exchange counts showing the merge-of-sorted-runs beating the
+# monolithic re-sort from 4 leaves on.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2x)
 set -euo pipefail
@@ -53,3 +59,6 @@ echo "wrote results/BENCH_observability.json"
 
 go run ./cmd/snoopy-bench -segstore results/BENCH_segstore.json
 echo "wrote results/BENCH_segstore.json"
+
+go run ./cmd/snoopy-bench -lbtree results/BENCH_lbtree.json
+echo "wrote results/BENCH_lbtree.json"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Pre-commit check: vet the whole module, then race-test the subsystems with
 # the trickiest concurrency surface — persistence, replication, transport,
-# failure detection/failover, the seeded chaos harness, and the pooled data
+# failure detection/failover, the seeded chaos harness, the pooled data
 # plane (arena recycling under the pipelined epoch loop in core, and the
-# pooled hot paths in loadbalancer/ohash). The full suite is
+# pooled hot paths in loadbalancer/ohash), the oblivious sort/merge
+# primitives under parallel leaf sorting (obliv), and the trace leakage
+# suite with parallel workers. The full suite is
 # `go test ./...`; the long multi-seed chaos soak is scripts/chaos.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +24,8 @@ go test -race -timeout 45m \
   ./internal/cluster/... \
   ./internal/chaos/... \
   ./internal/loadbalancer/... \
+  ./internal/obliv/... \
+  ./internal/trace/... \
   ./internal/ohash/... \
   ./internal/telemetry/... \
   ./internal/metrics/...
