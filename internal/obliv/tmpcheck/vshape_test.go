@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+import "snoopy/internal/obliv"
+
+func TestVShapeExhaustive(t *testing.T) {
+	// all 0/1 pairs of sorted runs a,b up to length 9 each, merged via MergeSorted
+	for a := 0; a <= 9; a++ {
+		for b := 0; b <= 9; b++ {
+			// run A: zeros then ones, choose count of ones
+			for za := 0; za <= a; za++ {
+				for zb := 0; zb <= b; zb++ {
+					s := make(obliv.U64Slice, 0, a+b)
+					for i := 0; i < a; i++ {
+						if i < za { s = append(s, 0) } else { s = append(s, 1) }
+					}
+					for i := 0; i < b; i++ {
+						if i < zb { s = append(s, 0) } else { s = append(s, 1) }
+					}
+					obliv.MergeSorted(s, []int{a, b})
+					for i := 1; i < len(s); i++ {
+						if s[i-1] > s[i] {
+							t.Fatalf("a=%d b=%d za=%d zb=%d: not sorted %v", a, b, za, zb, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
