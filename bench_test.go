@@ -8,6 +8,7 @@ package snoopy_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -537,10 +538,22 @@ func BenchmarkHashTableConstruction(b *testing.B) {
 // ---- Pipelined vs synchronous epochs (§6) ----
 
 func BenchmarkPipelinedEpochs(b *testing.B) {
-	for _, pipeline := range []bool{false, true} {
-		b.Run(fmt.Sprintf("pipeline=%v", pipeline), func(b *testing.B) {
+	modes := []struct {
+		name     string
+		pipeline bool
+		depth    int
+	}{
+		{"pipeline=false", false, 0},
+		{"pipeline=true", true, 0}, // default depth
+		{"pipeline=true/depth=1", true, 1},
+		{"pipeline=true/depth=2", true, 2},
+		{"pipeline=true/depth=4", true, 4},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
 			st, err := snoopy.Open(snoopy.Config{
-				BlockSize: benchBlock, SubORAMs: 2, Pipeline: pipeline,
+				BlockSize: benchBlock, SubORAMs: 2,
+				Pipeline: mode.pipeline, PipelineDepth: mode.depth,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -554,8 +567,11 @@ func BenchmarkPipelinedEpochs(b *testing.B) {
 			if err := st.LoadSlices(ids, make([]byte, objects*benchBlock)); err != nil {
 				b.Fatal(err)
 			}
+			// Clear heap debt left by earlier benchmarks in the same process
+			// so GC pacing doesn't skew the synchronous/pipelined comparison.
+			runtime.GC()
 			b.ResetTimer()
-			var waits []func() ([]byte, bool, error)
+			waits := make([]func() ([]byte, bool, error), 0, b.N*64)
 			for i := 0; i < b.N; i++ {
 				for j := 0; j < 64; j++ {
 					w, err := st.ReadAsync(uint64((i*64 + j) % objects))

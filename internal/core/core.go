@@ -19,8 +19,10 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snoopy/internal/arena"
@@ -40,6 +42,18 @@ type SubORAMClient interface {
 	Init(ids []uint64, data []byte) error
 	// BatchAccess executes one batch of distinct requests.
 	BatchAccess(reqs *store.Requests) (*store.Requests, error)
+}
+
+// BatchedSubORAMClient is the optional fast path for clients that can
+// execute a whole epoch's worth of batches (one per load balancer) in a
+// single exchange — a remote partition turns L round trips and L AEAD
+// seals into one of each. Batches must be applied in slice order (the
+// fixed load-balancer order linearizability depends on). The returned
+// slice itself (not the Requests it points at) is only valid until the
+// next BatchAccessN call on the same client.
+type BatchedSubORAMClient interface {
+	SubORAMClient
+	BatchAccessN(reqs []*store.Requests) ([]*store.Requests, error)
 }
 
 // ErrClosed is returned for requests submitted after Close.
@@ -86,6 +100,15 @@ type Config struct {
 	// Flush then returns once the epoch is *dispatched*; per-request
 	// completion still blocks until its epoch finishes.
 	Pipeline bool
+	// PipelineDepth bounds the number of epochs in flight at once
+	// (dispatched but not yet fully replied) when Pipeline is on. Flush
+	// blocks once the bound is reached — the backpressure that keeps the
+	// arena working set and reply latency bounded. 0 picks a default from
+	// public parameters (GOMAXPROCS, clamped to [2,4]); the depth, like
+	// every scheduling parameter, is public deployment configuration: the
+	// dispatch cadence it produces depends only on epoch timing and batch
+	// sizes the network adversary already observes.
+	PipelineDepth int
 	// DataDir, when non-empty, makes every local partition durable
 	// (internal/persist): sealed snapshots plus a sealed write-ahead log
 	// under DataDir/part-NNN, the oblivious routing key sealed at
@@ -284,12 +307,32 @@ type System struct {
 	downSince []time.Time
 	repairWG  sync.WaitGroup
 
-	// Pipelined mode: stage A feeds jobs to a worker running stage B in
-	// epoch order; stage C runs concurrently per epoch.
-	jobs     chan *epochJob
-	pipeDone chan struct{}
-	cWG      sync.WaitGroup
-	pipeOff  bool // set at Close; guarded by epochMu
+	// Stage-B execution plane: one long-lived worker per partition, each
+	// draining its own FIFO job queue. Per-partition epoch order (required
+	// for last-write-wins linearizability) is the queue order; partitions
+	// drift across epochs independently, so a slow partition no longer
+	// stalls the others' next-epoch scans. In pipelined mode depthSem
+	// bounds the epochs in flight and the sequencer runs the epoch-ordered
+	// completion work (health accounting, batch release, stage C spawn).
+	depth    int              // epochs in flight bound (1 when !Pipeline)
+	partQ    []chan *epochJob // per-partition FIFO job queues, cap depth
+	bDone    chan *epochJob   // completed jobs, in epoch order
+	seqDone  chan struct{}    // sequencer exited
+	depthSem chan struct{}    // pipeline depth tokens
+	workerWG sync.WaitGroup   // partition workers
+	bOnce    sync.Once        // closes bDone exactly once
+	finishMu sync.Mutex       // serializes finishStageB across modes
+	// bGather/bIdx/bView are per-partition scratch for assembling the
+	// live-batch slice handed to BatchAccessN; partition s is only ever
+	// processed by one worker at a time (FIFO queue), so slot s needs no
+	// lock. bView[s] holds the per-plane batch window structs so the scan
+	// dispatch allocates nothing per epoch (the views are consumed within
+	// the partition call and never outlive it).
+	bGather [][]*store.Requests
+	bIdx    [][]int
+	bView   [][]store.Requests
+	cWG     sync.WaitGroup
+	pipeOff bool // set at Close; guarded by epochMu
 
 	closed   chan struct{}
 	closeOne sync.Once
@@ -523,10 +566,34 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 		sys.health.LeafConsecutiveFailures = make([]int, totalFeeds)
 		sys.health.LeafTotalFailures = make([]uint64, totalFeeds)
 	}
+	sys.depth = 1
 	if cfg.Pipeline {
-		sys.jobs = make(chan *epochJob, 2)
-		sys.pipeDone = make(chan struct{})
-		go sys.pipelineWorker()
+		sys.depth = cfg.PipelineDepth
+		if sys.depth <= 0 {
+			sys.depth = defaultPipelineDepth()
+		}
+		if sys.depth > maxPipelineDepth {
+			sys.depth = maxPipelineDepth
+		}
+		sys.depthSem = make(chan struct{}, sys.depth)
+		sys.bDone = make(chan *epochJob, sys.depth+1)
+		sys.seqDone = make(chan struct{})
+		cfg.Telemetry.Gauge("snoopy_config_pipeline_depth").Set(int64(sys.depth))
+		go sys.sequencer()
+	}
+	sys.partQ = make([]chan *epochJob, len(subs))
+	sys.bGather = make([][]*store.Requests, len(subs))
+	sys.bIdx = make([][]int, len(subs))
+	sys.bView = make([][]store.Requests, len(subs))
+	for s := range sys.partQ {
+		sys.partQ[s] = make(chan *epochJob, sys.depth)
+		sys.bGather[s] = make([]*store.Requests, 0, cfg.NumLoadBalancers)
+		sys.bIdx[s] = make([]int, 0, cfg.NumLoadBalancers)
+		sys.bView[s] = make([]store.Requests, cfg.NumLoadBalancers)
+	}
+	sys.workerWG.Add(len(subs))
+	for s := range subs {
+		go sys.partitionWorker(s)
 	}
 	if cfg.EpochDuration > 0 {
 		sys.ticker = time.NewTicker(cfg.EpochDuration)
@@ -577,14 +644,24 @@ func (sys *System) Close() {
 		}
 	})
 	sys.wg.Wait()
-	if sys.cfg.Pipeline {
-		sys.epochMu.Lock()
-		if !sys.pipeOff {
-			sys.pipeOff = true
-			close(sys.jobs)
+	// Shut the stage-B plane down in dependency order: stop new dispatches
+	// (pipeOff under epochMu), close the partition queues so the workers
+	// drain every already-dispatched epoch through stage B, then close the
+	// sequencer's input and wait out the stage-C goroutines it spawned —
+	// a dispatched epoch always completes fully, replies included.
+	sys.epochMu.Lock()
+	if !sys.pipeOff {
+		sys.pipeOff = true
+		for _, q := range sys.partQ {
+			close(q)
 		}
-		sys.epochMu.Unlock()
-		<-sys.pipeDone
+	}
+	sys.epochMu.Unlock()
+	sys.workerWG.Wait()
+	if sys.cfg.Pipeline {
+		sys.bOnce.Do(func() { close(sys.bDone) })
+		<-sys.seqDone
+		sys.cWG.Wait()
 	}
 	// No stage B runs after this point, so no new repair can start; wait
 	// out any in-flight attempt (its own dial deadlines bound the wait).
@@ -732,25 +809,175 @@ type epochJob struct {
 	responses [][]*store.Requests // [lb][sub]
 	subWall   []time.Duration
 	subErr    []error
+	// subUsed[s] is the client that served partition s this epoch (the
+	// snapshot repair needs as its "old" argument — the table may have
+	// been swapped by the time accounting runs).
+	subUsed []SubORAMClient
+
+	// bLeft counts partitions still executing stage B; the worker that
+	// takes it to zero completes the job: synchronous epochs close bFin
+	// (the dispatching Flush is waiting on it), pipelined epochs go to the
+	// sequencer. Completions reach the sequencer in epoch order because
+	// every partition drains its queue FIFO: job N+1 cannot complete
+	// anywhere before every partition finished job N.
+	bLeft atomic.Int32
+	sync  bool
+	bFin  chan struct{}
+}
+
+// Pipeline depth bounds. The default is sized from public parameters
+// only: the machine's GOMAXPROCS (public deployment shape), clamped so a
+// big machine doesn't balloon the arena working set. maxPipelineDepth
+// caps operator configuration for the same reason.
+const maxPipelineDepth = 16
+
+func defaultPipelineDepth() int {
+	d := runtime.GOMAXPROCS(0)
+	if d < 2 {
+		d = 2
+	}
+	if d > 4 {
+		d = 4
+	}
+	return d
 }
 
 // Flush runs one epoch. In the default synchronous mode it batches,
 // executes, matches, and replies before returning. In pipelined mode
 // (Config.Pipeline) it performs stage A (snapshot + batching) and
 // dispatches the rest; stages overlap across epochs exactly as the
-// paper's throughput equation assumes.
+// paper's throughput equation assumes: stage A of epoch N+1 runs while
+// the partition workers scan epoch N and stage C matches epoch N−1, up
+// to PipelineDepth epochs in flight.
 func (sys *System) Flush() {
 	sys.epochMu.Lock()
 	job := sys.stageA()
-	if sys.cfg.Pipeline && !sys.pipeOff {
-		// Blocking send applies backpressure when the pipeline is full.
-		sys.jobs <- job
+	if sys.pipeOff {
+		// Close already shut the partition queues: nothing will execute
+		// this job, so every snapshotted request gets its ErrClosed reply
+		// here instead of silently never completing.
+		sys.epochMu.Unlock()
+		sys.failJob(job, ErrClosed)
+		return
+	}
+	if sys.cfg.Pipeline {
+		// Depth-token acquire applies backpressure when the pipeline is
+		// full. It also selects on closed so a Flush blocked here (e.g.
+		// behind a partition stalled at its RPC deadline) cannot hold
+		// Close hostage: the job is failed, not dispatched.
+		select {
+		case sys.depthSem <- struct{}{}:
+		case <-sys.closed:
+			sys.epochMu.Unlock()
+			sys.failJob(job, ErrClosed)
+			return
+		}
+		sys.dispatch(job)
 		sys.epochMu.Unlock()
 		return
 	}
+	job.sync = true
+	job.bFin = make(chan struct{})
+	sys.dispatch(job)
 	sys.epochMu.Unlock()
-	sys.stageB(job)
+	<-job.bFin
+	sys.finishStageB(job)
 	sys.stageC(job)
+}
+
+// dispatch hands the job to every partition worker. Caller holds epochMu,
+// so queue order is epoch order. The sends cannot block indefinitely: at
+// most depth jobs hold tokens (pipelined) or one job is in flight per
+// caller (synchronous), matching the queues' capacity.
+func (sys *System) dispatch(job *epochJob) {
+	for s := range sys.partQ {
+		sys.partQ[s] <- job
+	}
+}
+
+// failJob replies ErrClosed (or another terminal error) to every request
+// snapshotted into a job that will never execute, and returns the job's
+// pooled stage-A storage to the arena.
+func (sys *System) failJob(job *epochJob, err error) {
+	for _, q := range job.queues {
+		for _, p := range q {
+			p.ch <- result{err: err}
+		}
+	}
+	for i := range job.eps {
+		job.eps[i].batches.Release()
+		job.eps[i].batches = nil
+		for f := range job.eps[i].feedReqs {
+			arena.Default.PutRequests(job.eps[i].feedReqs[f])
+			job.eps[i].feedReqs[f] = nil
+		}
+	}
+}
+
+// partitionWorker drains partition s's job queue in FIFO (= epoch) order.
+// The worker that finishes a job's last partition completes it: a
+// synchronous epoch wakes its Flush, a pipelined one goes to the
+// sequencer. Long-lived workers replace the per-epoch goroutine fan-out —
+// the stage-B pool is bounded by S for the life of the system.
+func (sys *System) partitionWorker(s int) {
+	defer sys.workerWG.Done()
+	for job := range sys.partQ[s] {
+		sys.partStageB(job, s)
+		if job.bLeft.Add(-1) == 0 {
+			if job.sync {
+				close(job.bFin)
+			} else {
+				sys.bDone <- job
+			}
+		}
+	}
+}
+
+// sequencer runs the epoch-ordered completion work for pipelined epochs:
+// health/failover accounting (consecutive-failure runs are only well
+// defined in epoch order), batch release, and the stage-C spawn. Stage C
+// itself runs concurrently across epochs and releases the depth token
+// when the epoch has fully replied.
+func (sys *System) sequencer() {
+	defer close(sys.seqDone)
+	for job := range sys.bDone {
+		sys.finishStageB(job)
+		sys.cWG.Add(1)
+		go func(job *epochJob) {
+			defer sys.cWG.Done()
+			sys.stageC(job)
+			<-sys.depthSem
+		}(job)
+	}
+}
+
+// stageAPlane builds plane i's batches from its snapshotted feed queues.
+func (sys *System) stageAPlane(job *epochJob, i int) {
+	F := sys.feedsPerPlane
+	t := time.Now()
+	ta0 := sys.cfg.Telemetry.Now()
+	feedReqs := make([]*store.Requests, F)
+	for f := 0; f < F; f++ {
+		q := job.queues[i*F+f]
+		reqs := arena.Default.GetRequests(len(q), sys.cfg.BlockSize)
+		for j, p := range q {
+			// Seq and Client are feed-local; a tree balancer shifts
+			// Seq by public per-feed bases for global last-write-wins.
+			reqs.SetRow(j, p.op, p.key, 0, uint64(j), uint64(j), p.data)
+		}
+		feedReqs[f] = reqs
+	}
+	b, feedErrs, err := sys.lbs[i].bal.MakeBatches(job.id, feedReqs)
+	ep := lbEpoch{feedReqs: feedReqs, batches: b, feedErrs: feedErrs, err: err, wall: time.Since(t)}
+	if b != nil {
+		ep.perSub, ep.dropped = b.PerSub, b.Dropped
+		ep.droppedKeys = b.DroppedKeys
+		ep.droppedByFeed = b.DroppedByFeed
+	}
+	job.eps[i] = ep
+	// One span per (epoch, load balancer), tagged with the public
+	// per-subORAM batch size α — fires on error paths too.
+	sys.stStageA.Record(job.id, i, ep.perSub, ta0, sys.cfg.Telemetry.Now())
 }
 
 // stageA snapshots the queues, resolves ACL permissions, and builds every
@@ -775,40 +1002,33 @@ func (sys *System) stageA() *epochJob {
 	// recursive ACL instance (paper §D: two epochs per operation).
 	job.denied, job.aclErr = sys.applyACL(job.queues)
 
-	job.eps = make([]lbEpoch, L)
-	var wg sync.WaitGroup
-	for i := range sys.lbs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := time.Now()
-			ta0 := sys.cfg.Telemetry.Now()
-			feedReqs := make([]*store.Requests, F)
-			for f := 0; f < F; f++ {
-				q := job.queues[i*F+f]
-				reqs := arena.Default.GetRequests(len(q), sys.cfg.BlockSize)
-				for j, p := range q {
-					// Seq and Client are feed-local; a tree balancer shifts
-					// Seq by public per-feed bases for global last-write-wins.
-					reqs.SetRow(j, p.op, p.key, 0, uint64(j), uint64(j), p.data)
-				}
-				feedReqs[f] = reqs
-			}
-			b, feedErrs, err := sys.lbs[i].bal.MakeBatches(job.id, feedReqs)
-			ep := lbEpoch{feedReqs: feedReqs, batches: b, feedErrs: feedErrs, err: err, wall: time.Since(t)}
-			if b != nil {
-				ep.perSub, ep.dropped = b.PerSub, b.Dropped
-				ep.droppedKeys = b.DroppedKeys
-				ep.droppedByFeed = b.DroppedByFeed
-			}
-			job.eps[i] = ep
-			// One span per (epoch, load balancer), tagged with the public
-			// per-subORAM batch size α — fires on error paths too.
-			sys.stStageA.Record(job.id, i, ep.perSub, ta0, sys.cfg.Telemetry.Now())
-		}()
+	S := len(sys.subs)
+	job.responses = make([][]*store.Requests, L)
+	for i := range job.responses {
+		job.responses[i] = make([]*store.Requests, S)
 	}
-	wg.Wait()
+	job.subWall = make([]time.Duration, S)
+	job.subErr = make([]error, S)
+	job.subUsed = make([]SubORAMClient, S)
+	job.bLeft.Store(int32(S))
+
+	job.eps = make([]lbEpoch, L)
+	// A single-plane deployment batches inline: spawning a goroutine per
+	// epoch buys nothing and costs a schedule round trip on small epochs.
+	if L == 1 {
+		sys.stageAPlane(job, 0)
+	} else {
+		var wg sync.WaitGroup
+		for i := range sys.lbs {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sys.stageAPlane(job, i)
+			}()
+		}
+		wg.Wait()
+	}
 	sys.observeLeafHealth(job)
 	return job
 }
@@ -837,63 +1057,79 @@ func (sys *System) observeLeafHealth(job *epochJob) {
 	sys.statsMu.Unlock()
 }
 
-// stageB executes the epoch's batches: every subORAM processes the L
-// batches in fixed load-balancer order; subORAMs run in parallel with each
-// other. Must be invoked in epoch order.
+// partStageB executes one partition's share of an epoch: the L batches in
+// fixed load-balancer order (the order linearizability's last-write-wins
+// depends on). Invoked only from partition s's worker, so per-partition
+// epoch order is the queue order and the scratch slot needs no lock.
 //
 // A failed partition does not fail the epoch: its error is recorded with
 // its partition index (and counted in HealthStats), and stage C fails only
 // the requests routed to it — the system degrades per partition and
 // survives to the next epoch.
-func (sys *System) stageB(job *epochJob) {
-	L := len(sys.lbs)
-	subs := sys.snapshotSubs()
-	S := len(subs)
-	job.responses = make([][]*store.Requests, L)
-	for i := range job.responses {
-		job.responses[i] = make([]*store.Requests, S)
+func (sys *System) partStageB(job *epochJob, s int) {
+	sys.subsMu.RLock()
+	sub := sys.subs[s]
+	sys.subsMu.RUnlock()
+	job.subUsed[s] = sub
+	t := time.Now()
+	tb0 := sys.cfg.Telemetry.Now()
+	rows := 0
+	// Record wall time on every exit: a failed partition's (often
+	// deadline-length) stall is real epoch time, and reporting zero
+	// would skew EpochStats exactly when latency matters most. The
+	// span fires once per (epoch, partition) on every exit path,
+	// tagged with the public row count Σα over load balancers.
+	defer func() {
+		job.subWall[s] = time.Since(t)
+		sys.stStageB.Record(job.id, s, rows, tb0, sys.cfg.Telemetry.Now())
+	}()
+	gather := sys.bGather[s][:0]
+	idxs := sys.bIdx[s][:0]
+	for i := range job.eps {
+		if job.eps[i].err != nil || job.eps[i].batches == nil {
+			continue
+		}
+		v := &sys.bView[s][len(idxs)]
+		job.eps[i].batches.ForInto(v, s)
+		gather = append(gather, v)
+		idxs = append(idxs, i)
 	}
-	job.subWall = make([]time.Duration, S)
-	job.subErr = make([]error, S)
-	var wg sync.WaitGroup
-	for s := range subs {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := time.Now()
-			tb0 := sys.cfg.Telemetry.Now()
-			rows := 0
-			// Record wall time on every exit: a failed partition's (often
-			// deadline-length) stall is real epoch time, and reporting zero
-			// would skew EpochStats exactly when latency matters most. The
-			// span fires once per (epoch, partition) on every exit path,
-			// tagged with the public row count Σα over load balancers.
-			defer func() {
-				job.subWall[s] = time.Since(t)
-				sys.stStageB.Record(job.id, s, rows, tb0, sys.cfg.Telemetry.Now())
-			}()
-			for i := 0; i < L; i++ {
-				if job.eps[i].err != nil || job.eps[i].batches == nil {
-					continue
-				}
-				out, err := subs[s].BatchAccess(job.eps[i].batches.For(s))
-				if err != nil {
-					job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
-					return
-				}
-				rows += job.eps[i].perSub
-				job.responses[i][s] = out
-			}
-		}()
+	// Multi-batch fast path: one exchange (and, remotely, one AEAD seal
+	// and one round trip) for the whole epoch instead of one per load
+	// balancer. All-or-nothing per partition, which matches the error
+	// granularity stage C already applies.
+	if bn, ok := sub.(BatchedSubORAMClient); ok && len(gather) > 1 {
+		outs, err := bn.BatchAccessN(gather)
+		if err != nil {
+			job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
+			return
+		}
+		for k, i := range idxs {
+			rows += job.eps[i].perSub
+			job.responses[i][s] = outs[k]
+		}
+		return
 	}
-	wg.Wait()
+	for k, i := range idxs {
+		out, err := sub.BatchAccess(gather[k])
+		if err != nil {
+			job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
+			return
+		}
+		rows += job.eps[i].perSub
+		job.responses[i][s] = out
+	}
+}
 
-	// Per-partition health accounting (stage B runs in epoch order, so
-	// consecutive-failure runs are well defined even when pipelining). A
-	// partition whose run reaches Config.FailoverAfter trips automatic
-	// failover: one repair attempt at a time, retried each further failing
-	// epoch until a replacement is promoted.
+// finishStageB runs the epoch-completion work that must happen in epoch
+// order once every partition finished: health/failover accounting (a
+// partition whose consecutive-failure run reaches Config.FailoverAfter
+// trips automatic failover — one repair attempt at a time, retried each
+// further failing epoch until a replacement is promoted) and the batch
+// release back to the arena.
+func (sys *System) finishStageB(job *epochJob) {
+	sys.finishMu.Lock()
+	defer sys.finishMu.Unlock()
 	now := time.Now()
 	sys.statsMu.Lock()
 	for s := range job.subErr {
@@ -910,7 +1146,7 @@ func (sys *System) stageB(job *epochJob) {
 				sys.health.Repairing[s] = true
 				sys.telRepairs.Inc()
 				sys.repairWG.Add(1)
-				go sys.repair(s, subs[s])
+				go sys.repair(s, job.subUsed[s])
 			}
 		} else {
 			sys.health.ConsecutiveFailures[s] = 0
@@ -934,94 +1170,109 @@ func (sys *System) stageB(job *epochJob) {
 // run concurrently across epochs.
 func (sys *System) stageC(job *epochJob) {
 	L := len(sys.lbs)
+	matchWall := make([]time.Duration, L)
+	if L == 1 {
+		sys.stageCPlane(job, 0, matchWall)
+	} else {
+		var wg sync.WaitGroup
+		for i := range sys.lbs {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sys.stageCPlane(job, i, matchWall)
+			}()
+		}
+		wg.Wait()
+	}
+
+	sys.stageCStats(job, matchWall)
+}
+
+// stageCPlane matches one plane's responses and replies to its clients.
+func (sys *System) stageCPlane(job *epochJob, i int, matchWall []time.Duration) {
 	F := sys.feedsPerPlane
 	S := len(sys.subs)
-	matchWall := make([]time.Duration, L)
-	var wg sync.WaitGroup
-	for i := range sys.lbs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := time.Now()
-			tc0 := sys.cfg.Telemetry.Now()
-			nreq := 0
-			for f := 0; f < F; f++ {
-				nreq += len(job.queues[i*F+f])
-			}
-			// One span per (epoch, load balancer) on every exit path, tagged
-			// with the public per-plane request count.
-			defer func() {
-				matchWall[i] = time.Since(t)
-				sys.stStageC.Record(job.id, i, nreq, tc0, sys.cfg.Telemetry.Now())
-			}()
-			// Whatever path this epoch takes, its pooled request snapshots
-			// and subORAM responses go back to the arena at the end.
-			defer func() {
-				for f := range job.eps[i].feedReqs {
-					arena.Default.PutRequests(job.eps[i].feedReqs[f])
-					job.eps[i].feedReqs[f] = nil
-				}
-				for s := 0; s < S; s++ {
-					arena.Default.PutRequests(job.responses[i][s])
-					job.responses[i][s] = nil
-				}
-			}()
-			if nreq == 0 {
-				return
-			}
-			failAll := func(err error) {
-				for f := 0; f < F; f++ {
-					for _, p := range job.queues[i*F+f] {
-						p.ch <- result{err: err}
-					}
-				}
-			}
-			if job.aclErr != nil {
-				failAll(job.aclErr)
-				return
-			}
-			if job.eps[i].err != nil {
-				failAll(job.eps[i].err)
-				return
-			}
-			// Graceful degradation: responses from healthy partitions are
-			// matched normally; requests routed to failed partitions get
-			// that partition's (index-tagged) error. Every reply — value or
-			// error — leaves at match completion, so reply traffic keeps
-			// its uniform timing regardless of which partitions failed.
-			anyErr := false
-			total := 0
-			for s := 0; s < S; s++ {
-				if job.subErr[s] != nil {
-					anyErr = true
-					continue
-				}
-				if r := job.responses[i][s]; r != nil {
-					total += r.Len()
-				}
-			}
-			all := arena.Default.GetRequests(total, sys.cfg.BlockSize)
-			off := 0
-			for s := 0; s < S; s++ {
-				if r := job.responses[i][s]; r != nil && job.subErr[s] == nil {
-					all.CopyRowsPlain(off, r)
-					off += r.Len()
-				}
-			}
-			// The plane's aggregate response set is matched back per feed:
-			// each feed gets its own oblivious match against its own request
-			// snapshot, and a failed feed (dead leaf) fails only its own
-			// clients while every other feed completes normally.
-			for f := 0; f < F; f++ {
-				sys.replyFeed(job, i, f, all, anyErr)
-			}
-			arena.Default.PutRequests(all)
-		}()
+	t := time.Now()
+	tc0 := sys.cfg.Telemetry.Now()
+	nreq := 0
+	for f := 0; f < F; f++ {
+		nreq += len(job.queues[i*F+f])
 	}
-	wg.Wait()
+	// One span per (epoch, load balancer) on every exit path, tagged
+	// with the public per-plane request count.
+	defer func() {
+		matchWall[i] = time.Since(t)
+		sys.stStageC.Record(job.id, i, nreq, tc0, sys.cfg.Telemetry.Now())
+	}()
+	// Whatever path this epoch takes, its pooled request snapshots
+	// and subORAM responses go back to the arena at the end.
+	defer func() {
+		for f := range job.eps[i].feedReqs {
+			arena.Default.PutRequests(job.eps[i].feedReqs[f])
+			job.eps[i].feedReqs[f] = nil
+		}
+		for s := 0; s < S; s++ {
+			arena.Default.PutRequests(job.responses[i][s])
+			job.responses[i][s] = nil
+		}
+	}()
+	if nreq == 0 {
+		return
+	}
+	failAll := func(err error) {
+		for f := 0; f < F; f++ {
+			for _, p := range job.queues[i*F+f] {
+				p.ch <- result{err: err}
+			}
+		}
+	}
+	if job.aclErr != nil {
+		failAll(job.aclErr)
+		return
+	}
+	if job.eps[i].err != nil {
+		failAll(job.eps[i].err)
+		return
+	}
+	// Graceful degradation: responses from healthy partitions are
+	// matched normally; requests routed to failed partitions get
+	// that partition's (index-tagged) error. Every reply — value or
+	// error — leaves at match completion, so reply traffic keeps
+	// its uniform timing regardless of which partitions failed.
+	anyErr := false
+	total := 0
+	for s := 0; s < S; s++ {
+		if job.subErr[s] != nil {
+			anyErr = true
+			continue
+		}
+		if r := job.responses[i][s]; r != nil {
+			total += r.Len()
+		}
+	}
+	all := arena.Default.GetRequests(total, sys.cfg.BlockSize)
+	off := 0
+	for s := 0; s < S; s++ {
+		if r := job.responses[i][s]; r != nil && job.subErr[s] == nil {
+			all.CopyRowsPlain(off, r)
+			off += r.Len()
+		}
+	}
+	// The plane's aggregate response set is matched back per feed:
+	// each feed gets its own oblivious match against its own request
+	// snapshot, and a failed feed (dead leaf) fails only its own
+	// clients while every other feed completes normally.
+	for f := 0; f < F; f++ {
+		sys.replyFeed(job, i, f, all, anyErr)
+	}
+	arena.Default.PutRequests(all)
+}
 
-	// Record stats.
+// stageCStats folds the completed epoch into EpochStats and whole-epoch
+// telemetry. Guarded against out-of-order completion: concurrent stage C
+// of an older epoch may finish after a newer one.
+func (sys *System) stageCStats(job *epochJob, matchWall []time.Duration) {
 	st := EpochStats{Epoch: job.id, Wall: time.Since(job.t0)}
 	for _, q := range job.queues {
 		st.Requests += len(q)
@@ -1058,7 +1309,11 @@ func (sys *System) stageC(job *epochJob) {
 	// Whole-epoch telemetry: fires exactly once per epoch, unconditionally.
 	// R (the real request count) is public — the adversary sees every client
 	// message arrive — and the overflow count is already in EpochStats.
-	sys.telEpoch.Set(int64(job.id))
+	// SetMax applies the same ordering guard as lastEp above: a
+	// late-finishing older epoch's concurrent stage C must not roll the
+	// gauge backwards, while its trace event still fires (the event stream
+	// stays a function of the recorded epochs, not of the schedule).
+	sys.telEpoch.SetMax(int64(job.id))
 	sys.telRequests.Add(uint64(st.Requests))
 	sys.telOverflow.Add(uint64(st.Dropped))
 	sys.stEpoch.Record(job.id, -1, st.Requests, job.t0tel, sys.cfg.Telemetry.Now())
@@ -1188,22 +1443,6 @@ func sinceDown(t0 time.Time) time.Duration {
 		return 0
 	}
 	return time.Since(t0)
-}
-
-// pipelineWorker drives stages B and C for dispatched epochs, preserving
-// subORAM epoch order while overlapping match/reply with the next epoch.
-func (sys *System) pipelineWorker() {
-	defer close(sys.pipeDone)
-	for job := range sys.jobs {
-		sys.stageB(job)
-		job := job
-		sys.cWG.Add(1)
-		go func() {
-			defer sys.cWG.Done()
-			sys.stageC(job)
-		}()
-	}
-	sys.cWG.Wait()
 }
 
 // LastEpochStats returns statistics for the most recent completed epoch.

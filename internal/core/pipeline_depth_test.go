@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snoopy/internal/enclave"
+	"snoopy/internal/faultnet"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+	"snoopy/internal/telemetry"
+	"snoopy/internal/transport"
+)
+
+// TestEpochGaugeMonotoneUnderLateStageC pins the fix for the epoch gauge
+// rollback: stage C of epoch N-1 can finish after stage C of epoch N when
+// epochs overlap, and its gauge update must not drag the published epoch
+// backwards. The stats path has carried an `Epoch >=` guard since the
+// pipelined mode landed; the gauge path used an unguarded Set.
+func TestEpochGaugeMonotoneUnderLateStageC(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys := startSystem(t, Config{
+		NumSubORAMs: 2, Pipeline: true, PipelineDepth: 4, Telemetry: reg,
+	}, 16)
+
+	var waits []func() ([]byte, bool, error)
+	for e := 0; e < 12; e++ {
+		w, err := sys.ReadAsync(uint64(e % 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+		sys.Flush()
+	}
+	for _, w := range waits {
+		if _, _, err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g := reg.Gauge("core_epoch")
+	top := g.Value()
+	if top != int64(sys.LastEpochStats().Epoch) {
+		t.Fatalf("gauge %d does not match last epoch %d", top, sys.LastEpochStats().Epoch)
+	}
+	// A straggler stage C publishing an older epoch id must be a no-op on
+	// the stored value (this is exactly the call stageCStats makes).
+	sys.telEpoch.SetMax(top - 3)
+	if got := g.Value(); got != top {
+		t.Fatalf("late stage C rolled the epoch gauge back: %d -> %d", top, got)
+	}
+	sys.telEpoch.SetMax(top + 1)
+	if got := g.Value(); got != top+1 {
+		t.Fatalf("gauge refused a newer epoch: %d", got)
+	}
+}
+
+// stallSub wedges BatchAccess on a channel, simulating a partition that is
+// alive but not making progress.
+type stallSub struct {
+	inner   SubORAMClient
+	stall   atomic.Bool
+	release chan struct{}
+}
+
+func (s *stallSub) Init(ids []uint64, data []byte) error { return s.inner.Init(ids, data) }
+
+func (s *stallSub) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	if s.stall.Load() {
+		<-s.release
+	}
+	return s.inner.BatchAccess(reqs)
+}
+
+// TestFlushBlockedOnDepthUnblocksOnClose pins the Flush/Close liveness
+// contract: a Flush waiting for a pipeline slot (every slot held by an
+// epoch stalled in stage B) must observe Close, abandon the dispatch, and
+// fail the epoch's requests with ErrClosed instead of blocking forever on
+// an un-cancellable send.
+func TestFlushBlockedOnDepthUnblocksOnClose(t *testing.T) {
+	stalled := &stallSub{inner: suboram.New(suboram.Config{BlockSize: testBlock}), release: make(chan struct{})}
+	subs := []SubORAMClient{stalled, suboram.New(suboram.Config{BlockSize: testBlock})}
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: testBlock, NumLoadBalancers: 1, Lambda: 32,
+		Pipeline: true, PipelineDepth: 1,
+	}, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []uint64{1, 2, 3, 4}
+	if err := sys.Init(ids, make([]byte, len(ids)*testBlock)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1 takes the only pipeline slot and wedges in stage B.
+	stalled.stall.Store(true)
+	w1, err := sys.ReadAsync(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+
+	// Epoch 2's Flush blocks waiting for the slot.
+	w2, err := sys.ReadAsync(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed := make(chan struct{})
+	go func() {
+		sys.Flush()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("Flush did not block with the pipeline full")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Close must unblock the waiting Flush; its requests fail with
+	// ErrClosed rather than hanging.
+	closed := make(chan struct{})
+	go func() {
+		sys.Close()
+		close(closed)
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w2()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Flush's request got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request of the blocked Flush never resolved")
+	}
+
+	// Release the wedged partition: the dispatched epoch drains through
+	// Close and its request still completes.
+	stalled.stall.Store(false)
+	close(stalled.release)
+	if _, _, err := w1(); err != nil {
+		t.Fatalf("dispatched epoch should complete through Close: %v", err)
+	}
+	select {
+	case <-flushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Flush never returned")
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned")
+	}
+}
+
+// TestPipelinedSoakWithStalledRemote hammers a depth-4 pipelined system
+// with concurrent Flush, LastEpochStats, Health, and client traffic while
+// one of three partitions is a remote whose connection stalls mid-drain
+// (faultnet StallAfter), then closes the system with requests still in
+// flight. Run under -race (scripts/check.sh), this is the memory-safety
+// and liveness soak for the worker-pool engine: every accepted request
+// must resolve, and Close must return.
+func TestPipelinedSoakWithStalledRemote(t *testing.T) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-suboram")
+	sub := suboram.New(suboram.Config{BlockSize: testBlock})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server's read direction stalls after 64 KiB: a few epochs in,
+	// mid-frame, the partition stops consuming batches.
+	l := faultnet.WrapListener(raw, func(i int) (faultnet.Plan, faultnet.Plan) {
+		read := faultnet.NoFaults()
+		read.StallAfter = 64 << 10
+		return read, faultnet.NoFaults()
+	})
+	defer l.Kill()
+	go transport.ServeSubORAM(l, sub, platform, m)
+
+	remote, err := transport.DialOptions(raw.Addr().String(), platform, m,
+		transport.Options{DialTimeout: 2 * time.Second, RPCTimeout: 300 * time.Millisecond}.NoRetries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	subs := []SubORAMClient{
+		suboram.New(suboram.Config{BlockSize: testBlock}),
+		suboram.New(suboram.Config{BlockSize: testBlock}),
+		remote,
+	}
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: testBlock, NumLoadBalancers: 2, Lambda: 32,
+		Pipeline: true, PipelineDepth: 4,
+		EpochDuration: 2 * time.Millisecond,
+	}, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 32
+	ids := make([]uint64, nKeys)
+	data := make([]byte, nKeys*testBlock)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if err := sys.Init(ids, data); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		g := g
+		wg.Add(1)
+		go func() { // clients: requests may fail (stalled partition, Close) but must resolve
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := uint64((g*11 + i) % nKeys)
+				if i%2 == 0 {
+					sys.Read(key)
+				} else {
+					sys.Write(key, []byte{byte(g), byte(i)})
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // extra manual flushes racing the ticker
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sys.Flush()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // observers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sys.LastEpochStats()
+				sys.Health()
+			}
+		}
+	}()
+
+	time.Sleep(600 * time.Millisecond) // long enough to cross the stall offset
+	closeDone := make(chan struct{})
+	go func() {
+		sys.Close() // close with requests in flight
+		close(closeDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+
+	waitDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("soak goroutines wedged (request never resolved)")
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close wedged mid-drain")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+// stubBatched is a BatchedSubORAMClient that answers from preallocated
+// responses, isolating the engine's dispatch overhead from partition work.
+type stubBatched struct {
+	outs   []*store.Requests
+	nCalls int
+	one    int
+}
+
+func (s *stubBatched) Init(ids []uint64, data []byte) error { return nil }
+
+func (s *stubBatched) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	s.one++
+	return s.outs[0], nil
+}
+
+func (s *stubBatched) BatchAccessN(reqs []*store.Requests) ([]*store.Requests, error) {
+	s.nCalls++
+	return s.outs[:len(reqs)], nil
+}
+
+// TestPartStageBZeroAlloc guards the stage-B worker-pool dispatch path:
+// gathering an epoch's live batches into the per-partition scratch,
+// handing them to the partition (batched fast path), and scattering the
+// responses must allocate nothing — the PR 2 zero-alloc contract extended
+// to the overlapped engine. Both the BatchAccessN fast path (L > 1) and
+// the per-batch fallback are pinned.
+func TestPartStageBZeroAlloc(t *testing.T) {
+	const L, S, perSub = 3, 1, 4
+	stub := &stubBatched{}
+	for i := 0; i < L; i++ {
+		stub.outs = append(stub.outs, store.NewRequests(perSub, testBlock))
+	}
+	sys, err := NewWithSubORAMs(Config{
+		BlockSize: testBlock, NumLoadBalancers: L, Lambda: 32,
+	}, []SubORAMClient{stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	job := &epochJob{
+		id:        1,
+		eps:       make([]lbEpoch, L),
+		responses: make([][]*store.Requests, L),
+		subWall:   make([]time.Duration, S),
+		subErr:    make([]error, S),
+		subUsed:   make([]SubORAMClient, S),
+	}
+	for i := range job.eps {
+		job.eps[i].batches = &loadbalancer.Batches{
+			All:    store.NewRequests(S*perSub, testBlock),
+			PerSub: perSub,
+		}
+		job.eps[i].perSub = perSub
+		job.responses[i] = make([]*store.Requests, S)
+	}
+
+	sys.partStageB(job, 0) // warm scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		job.id++
+		sys.partStageB(job, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("stage-B batched dispatch allocates %.1f per epoch, want 0", allocs)
+	}
+	if stub.nCalls == 0 {
+		t.Fatal("batched fast path never taken — guard is vacuous")
+	}
+	if job.responses[L-1][0] != stub.outs[L-1] {
+		t.Fatal("responses not scattered positionally")
+	}
+
+	// Per-batch fallback (a client without BatchAccessN): same contract.
+	for i := range job.eps {
+		job.eps[i].err = nil
+	}
+	plain := suboram.New(suboram.Config{BlockSize: testBlock})
+	ids := make([]uint64, perSub)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if err := plain.Init(ids, make([]byte, perSub*testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := NewWithSubORAMs(Config{
+		BlockSize: testBlock, NumLoadBalancers: L, Lambda: 32,
+	}, []SubORAMClient{&noBatchN{plain}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys2.Close)
+	for i := range job.eps {
+		all := job.eps[i].batches.All
+		for r := 0; r < all.Len(); r++ {
+			all.SetRow(r, store.OpRead, uint64(r+1), 0, uint64(r), uint64(r), nil)
+		}
+	}
+	sys2.partStageB(job, 0)
+	releaseResponses(job, S)
+	allocs = testing.AllocsPerRun(100, func() {
+		job.id++
+		sys2.partStageB(job, 0)
+		releaseResponses(job, S)
+	})
+	if allocs != 0 {
+		t.Fatalf("stage-B per-batch dispatch allocates %.1f per epoch, want 0", allocs)
+	}
+}
+
+// noBatchN hides a partition's BatchAccessN so the engine takes the
+// per-batch fallback.
+type noBatchN struct{ inner *suboram.SubORAM }
+
+func (n *noBatchN) Init(ids []uint64, data []byte) error { return n.inner.Init(ids, data) }
+func (n *noBatchN) BatchAccess(r *store.Requests) (*store.Requests, error) {
+	return n.inner.BatchAccess(r)
+}
+
+func releaseResponses(job *epochJob, S int) {
+	for i := range job.responses {
+		for s := 0; s < S; s++ {
+			if job.responses[i][s] != nil {
+				arena.Default.PutRequests(job.responses[i][s])
+				job.responses[i][s] = nil
+			}
+		}
+	}
+}

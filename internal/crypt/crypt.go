@@ -86,11 +86,17 @@ func (s *Sealer) Seal(plaintext, aad []byte) []byte {
 // plaintext), so a steady-state sender can reuse one frame buffer per
 // channel instead of allocating per message.
 func (s *Sealer) SealAppend(dst, plaintext, aad []byte) []byte {
+	// The nonce is built in place at the end of dst and passed to the AEAD
+	// as a slice of dst itself: a local nonce array would escape through
+	// the cipher.AEAD interface call and cost one heap allocation per
+	// frame. Seal appends the ciphertext after the nonce and never writes
+	// the prefix, so the aliasing is safe.
+	off := len(dst)
 	var nonce [NonceSize]byte
 	binary.LittleEndian.PutUint32(nonce[0:4], s.channel)
 	binary.LittleEndian.PutUint64(nonce[4:12], s.counter.Add(1))
 	dst = append(dst, nonce[:]...)
-	return s.aead.Seal(dst, nonce[:], plaintext, aad)
+	return s.aead.Seal(dst, dst[off:off+NonceSize], plaintext, aad)
 }
 
 // Open authenticates and decrypts a message produced by Seal with the same

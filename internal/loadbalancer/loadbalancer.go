@@ -164,6 +164,13 @@ func (b *Batches) For(s int) *store.Requests {
 	return b.All.View(s*b.PerSub, (s+1)*b.PerSub)
 }
 
+// ForInto is For writing the window into caller-owned scratch — no
+// allocation, for the epoch engine's per-partition dispatch loop. The
+// window is invalid once the Batches are released.
+func (b *Batches) ForInto(dst *store.Requests, s int) {
+	b.All.ViewInto(dst, s*b.PerSub, (s+1)*b.PerSub)
+}
+
 // Release returns the batch storage (and the struct) to the arena. The
 // Batches and every view obtained from For are invalid afterwards.
 func (b *Batches) Release() {

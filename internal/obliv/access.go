@@ -18,19 +18,11 @@ func FusedAccess(cw, cr uint8, obj, slot []byte) {
 	if len(obj) != len(slot) {
 		panic("obliv: FusedAccess length mismatch")
 	}
-	mw := Mask64(cw)
-	mrw := Mask64(cr | cw)
-	n := len(obj)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		o := leU64(obj[i:])
-		s := leU64(slot[i:])
-		putLeU64(obj[i:], o^(mw&(o^s)))
-		putLeU64(slot[i:], s^(mrw&(s^o)))
-	}
+	n := len(obj) &^ 7
+	fusedWords(Mask64(cw), Mask64(cr|cw), obj, slot, n)
 	mwb := MaskByte(cw)
 	mrwb := MaskByte(cr | cw)
-	for ; i < n; i++ {
+	for i := n; i < len(obj); i++ {
 		o := obj[i]
 		s := slot[i]
 		obj[i] = o ^ (mwb & (o ^ s))

@@ -102,17 +102,11 @@ func CondCopyBytes(c uint8, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("obliv: CondCopyBytes length mismatch")
 	}
-	// Word-at-a-time main loop, byte tail.
-	m := Mask64(c)
-	n := len(dst)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		d := leU64(dst[i:])
-		s := leU64(src[i:])
-		putLeU64(dst[i:], d^(m&(d^s)))
-	}
+	// Word-at-a-time main loop (SIMD on amd64), byte tail.
+	n := len(dst) &^ 7
+	condCopyWords(Mask64(c), dst, src, n)
 	mb := MaskByte(c)
-	for ; i < n; i++ {
+	for i := n; i < len(dst); i++ {
 		dst[i] ^= mb & (dst[i] ^ src[i])
 	}
 }
@@ -122,18 +116,13 @@ func CondSwapBytes(c uint8, a, b []byte) {
 	if len(a) != len(b) {
 		panic("obliv: CondSwapBytes length mismatch")
 	}
+	// A conditional swap is the fused access with both masks equal:
+	// a' = a^(m&(a^b)), b' = b^(m&(a^b)).
 	m := Mask64(c)
-	n := len(a)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		x := leU64(a[i:])
-		y := leU64(b[i:])
-		t := m & (x ^ y)
-		putLeU64(a[i:], x^t)
-		putLeU64(b[i:], y^t)
-	}
+	n := len(a) &^ 7
+	fusedWords(m, m, a, b, n)
 	mb := MaskByte(c)
-	for ; i < n; i++ {
+	for i := n; i < len(a); i++ {
 		t := mb & (a[i] ^ b[i])
 		a[i] ^= t
 		b[i] ^= t

@@ -1,0 +1,31 @@
+//go:build amd64 && !purego
+
+package obliv
+
+// SIMDWordLoops reports whether the fused word loops run on the SSE2
+// kernels in simd_amd64.s (true here) or the portable scalar fallback.
+const SIMDWordLoops = true
+
+//go:noescape
+func fusedAccessAsm(mw, mrw uint64, obj, slot *byte, n int)
+
+//go:noescape
+func condCopyAsm(m uint64, dst, src *byte, n int)
+
+// fusedWords applies obj' = obj^(mw&(obj^slot)), slot' = slot^(mrw&(obj^slot))
+// to the first n bytes of both slices. n must be a multiple of 8 and no
+// larger than either length.
+func fusedWords(mw, mrw uint64, obj, slot []byte, n int) {
+	if n > 0 {
+		fusedAccessAsm(mw, mrw, &obj[0], &slot[0], n)
+	}
+}
+
+// condCopyWords applies dst' = dst^(m&(dst^src)) to the first n bytes.
+// n must be a multiple of 8 and no larger than either length. src is
+// never written.
+func condCopyWords(m uint64, dst, src []byte, n int) {
+	if n > 0 {
+		condCopyAsm(m, &dst[0], &src[0], n)
+	}
+}

@@ -1,0 +1,156 @@
+// SSE2 kernels for the fused oblivious word loops. Every instruction
+// executes unconditionally with data-independent control flow: the masks
+// select values, never branches, so the access pattern and the instruction
+// trace are identical whether a condition is 0 or 1.
+
+#include "textflag.h"
+
+// func fusedAccessAsm(mw, mrw uint64, obj, slot *byte, n int)
+// Requires n > 0 and n%8 == 0. In place:
+//
+//	obj'  = obj  ^ (mw  & (obj^slot))
+//	slot' = slot ^ (mrw & (obj^slot))
+TEXT ·fusedAccessAsm(SB), NOSPLIT, $0-40
+	MOVQ mw+0(FP), AX
+	MOVQ mrw+8(FP), BX
+	MOVQ obj+16(FP), SI
+	MOVQ slot+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVQ AX, X0
+	PUNPCKLQDQ X0, X0
+	MOVQ BX, X1
+	PUNPCKLQDQ X1, X1
+
+loop32:
+	CMPQ CX, $32
+	JLT  loop16
+	MOVOU (SI), X2
+	MOVOU (DI), X3
+	MOVOU 16(SI), X6
+	MOVOU 16(DI), X7
+	MOVOU X2, X4
+	PXOR  X3, X4
+	MOVOU X6, X8
+	PXOR  X7, X8
+	MOVOU X4, X5
+	PAND  X0, X5
+	PXOR  X2, X5
+	MOVOU X8, X9
+	PAND  X0, X9
+	PXOR  X6, X9
+	PAND  X1, X4
+	PXOR  X3, X4
+	PAND  X1, X8
+	PXOR  X7, X8
+	MOVOU X5, (SI)
+	MOVOU X4, (DI)
+	MOVOU X9, 16(SI)
+	MOVOU X8, 16(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JMP  loop32
+
+loop16:
+	CMPQ CX, $16
+	JLT  loop8
+	MOVOU (SI), X2
+	MOVOU (DI), X3
+	MOVOU X2, X4
+	PXOR  X3, X4
+	MOVOU X4, X5
+	PAND  X0, X5
+	PXOR  X2, X5
+	PAND  X1, X4
+	PXOR  X3, X4
+	MOVOU X5, (SI)
+	MOVOU X4, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+
+loop8:
+	CMPQ CX, $8
+	JLT  done
+	MOVQ (SI), AX
+	MOVQ (DI), BX
+	MOVQ AX, DX
+	XORQ BX, DX
+	MOVQ DX, R8
+	ANDQ mw+0(FP), R8
+	XORQ AX, R8
+	ANDQ mrw+8(FP), DX
+	XORQ BX, DX
+	MOVQ R8, (SI)
+	MOVQ DX, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JMP  loop8
+
+done:
+	RET
+
+// func condCopyAsm(m uint64, dst, src *byte, n int)
+// Requires n > 0 and n%8 == 0. In place:
+//
+//	dst' = dst ^ (m & (dst^src))
+//
+// src is only read (it may be shared read-only across goroutines).
+TEXT ·condCopyAsm(SB), NOSPLIT, $0-32
+	MOVQ m+0(FP), AX
+	MOVQ dst+8(FP), SI
+	MOVQ src+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ AX, X0
+	PUNPCKLQDQ X0, X0
+
+copy32:
+	CMPQ CX, $32
+	JLT  copy16
+	MOVOU (SI), X2
+	MOVOU (DI), X3
+	MOVOU 16(SI), X4
+	MOVOU 16(DI), X5
+	PXOR  X2, X3
+	PAND  X0, X3
+	PXOR  X2, X3
+	PXOR  X4, X5
+	PAND  X0, X5
+	PXOR  X4, X5
+	MOVOU X3, (SI)
+	MOVOU X5, 16(SI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JMP  copy32
+
+copy16:
+	CMPQ CX, $16
+	JLT  copy8
+	MOVOU (SI), X2
+	MOVOU (DI), X3
+	PXOR  X2, X3
+	PAND  X0, X3
+	PXOR  X2, X3
+	MOVOU X3, (SI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+
+copy8:
+	CMPQ CX, $8
+	JLT  copydone
+	MOVQ (SI), BX
+	MOVQ (DI), DX
+	XORQ BX, DX
+	ANDQ AX, DX
+	XORQ BX, DX
+	MOVQ DX, (SI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JMP  copy8
+
+copydone:
+	RET

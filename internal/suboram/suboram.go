@@ -123,6 +123,9 @@ type SubORAM struct {
 	zeroBlk    []byte        // the all-zero miss response block
 	workTables []ohash.Table // scan-worker table copies (structs reused)
 	workErrs   []error
+	// noutScratch backs BatchAccessN's returned slice (valid until the
+	// next call, like every other per-batch scratch here).
+	noutScratch []*store.Requests
 
 	// Sealed-scan streaming buffers; sealedMu (not mu) guards them because
 	// scan workers run while mu is held by BatchAccess.
@@ -298,7 +301,39 @@ func (s *SubORAM) LastStats() Stats {
 func (s *SubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.batchAccessLocked(reqs)
+}
 
+// BatchAccessN executes a whole epoch's batches — one per load balancer,
+// in the fixed load-balancer order linearizability depends on — under a
+// single lock acquisition (core.BatchedSubORAMClient). The returned slice
+// is internal scratch reused by the next call; the *store.Requests it
+// points at are the caller's to release as usual.
+func (s *SubORAM) BatchAccessN(reqs []*store.Requests) ([]*store.Requests, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(s.noutScratch) < len(reqs) {
+		s.noutScratch = make([]*store.Requests, len(reqs))
+	}
+	outs := s.noutScratch[:len(reqs)]
+	for i, r := range reqs {
+		out, err := s.batchAccessLocked(r)
+		if err != nil {
+			// All-or-nothing for the caller: already-produced responses
+			// would never be matched, so give them back to the arena.
+			pool := s.pool()
+			for j := 0; j < i; j++ {
+				pool.PutRequests(outs[j])
+				outs[j] = nil
+			}
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+func (s *SubORAM) batchAccessLocked(reqs *store.Requests) (*store.Requests, error) {
 	if reqs.BlockSize != s.cfg.BlockSize {
 		return nil, fmt.Errorf("suboram: batch block size %d != %d", reqs.BlockSize, s.cfg.BlockSize)
 	}

@@ -252,6 +252,25 @@ func (g *Gauge) Set(v int64) {
 	g.reg.trace(g.site, uint64(v), 0)
 }
 
+// SetMax sets the gauge to v unless the stored value is already larger —
+// the race-free monotone update for values like "latest completed epoch"
+// that concurrent (pipelined) completions may report out of order. The
+// trace event fires unconditionally with the attempted value, so the
+// event stream is a function of what was recorded, never of the goroutine
+// schedule that interleaved the recordings.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if cur >= v || g.v.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	g.reg.trace(g.site, uint64(v), 0)
+}
+
 // Add adjusts the gauge by delta.
 func (g *Gauge) Add(delta int64) {
 	if g == nil {

@@ -57,6 +57,7 @@ func telemetryWorkload(t *testing.T, cfg core.Config, seed int64, epochs, perEpo
 		t.Fatal(err)
 	}
 
+	var pending []func() ([]byte, bool, error)
 	for e := 0; e < epochs; e++ {
 		waits := make([]func() ([]byte, bool, error), 0, perEpoch)
 		var last uint64
@@ -88,10 +89,22 @@ func telemetryWorkload(t *testing.T, cfg core.Config, seed int64, epochs, perEpo
 			waits = append(waits, w)
 		}
 		sys.Flush()
+		if cfg.Pipeline {
+			// Overlapped engine: let epochs pile up in the pipeline and
+			// drain at the end, so stages genuinely overlap while the
+			// trace is captured.
+			pending = append(pending, waits...)
+			continue
+		}
 		for _, w := range waits {
 			if _, _, err := w(); err != nil {
 				t.Fatal(err)
 			}
+		}
+	}
+	for _, w := range pending {
+		if _, _, err := w(); err != nil {
+			t.Fatal(err)
 		}
 	}
 
@@ -233,6 +246,28 @@ func TestTelemetryTraceIndependentOfSecretsTreeParallel(t *testing.T) {
 		SubORAMWorkers:   2,
 		TestLBChoiceSeed: 99,
 	}, 4, 48)
+}
+
+// TestTelemetryTraceIndependentOfSecretsPipelined: the overlapped epoch
+// engine (Pipeline, depth 4) with epochs deliberately left in flight so
+// stage A of later epochs runs while stage B/C of earlier ones drain. The
+// dispatch schedule, the per-stage spans, the depth gauge, and the
+// monotone epoch-gauge updates must all stay functions of public
+// parameters: byte-identical /metrics and /trace/epochs, identical
+// per-site trace multisets, regardless of which secrets flow through the
+// overlapped stages.
+func TestTelemetryTraceIndependentOfSecretsPipelined(t *testing.T) {
+	assertTelemetryIndependent(t, core.Config{
+		BlockSize:        block,
+		NumLoadBalancers: 2,
+		NumSubORAMs:      4,
+		Lambda:           32,
+		SortWorkers:      2,
+		SubORAMWorkers:   2,
+		Pipeline:         true,
+		PipelineDepth:    4,
+		TestLBChoiceSeed: 99,
+	}, 6, 48)
 }
 
 // TestTelemetrySnapshotIndependentOfSecrets: the programmatic export

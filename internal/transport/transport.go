@@ -62,10 +62,22 @@ const (
 	tagControl = 0x00 // gob-encoded message
 	tagBatch   = 0x01 // delivery tag + wirecode request batch
 	tagResp    = 0x02 // delivery tag + wirecode response batch
+	// Grouped frames carry one epoch's worth of batches (one per load
+	// balancer) under a single delivery tag and a single AEAD seal/open:
+	// delivery tag, a u32 batch count, then count length-prefixed wirecode
+	// frames. Every length is a closed-form function of the public batch
+	// sizes, so grouping changes neither the trace shape nor its sizes.
+	tagBatchN = 0x03 // delivery tag + u32 count + count wirecode request batches
+	tagRespN  = 0x04 // delivery tag + u32 count + count wirecode response batches
 )
 
 // deliveryTagLen is the fixed (lbID, seq) prefix on batch/response frames.
 const deliveryTagLen = 16
+
+// maxBatchesPerFrame bounds the batch count of a grouped frame so a
+// malicious peer cannot force unbounded slice allocation. Far above any
+// real deployment's load-balancer count (cf. maxTrackedLBs).
+const maxBatchesPerFrame = 1024
 
 // ErrClosed is returned for RPCs on a RemoteSubORAM after Close.
 var ErrClosed = errors.New("transport: connection closed")
@@ -184,17 +196,19 @@ func OptionsForEpoch(epoch time.Duration) Options {
 
 // message is the protocol envelope. Only the exported fields travel in gob
 // control frames; reqs carries a batch/response decoded from a wirecode
-// frame (or to be encoded into one) and never passes through gob. lbID and
+// frame (or to be encoded into one) and never passes through gob; reqsN
+// carries the batches of a grouped (tagBatchN/tagRespN) frame. lbID and
 // seq are the delivery tag of batch/response frames.
 type message struct {
-	Kind  string // "init" | "batch" | "ok" | "resp" | "err"
+	Kind  string // "init" | "batch" | "batchN" | "ok" | "resp" | "respN" | "err"
 	IDs   []uint64
 	Data  []byte
 	Error string
 
-	reqs *store.Requests
-	lbID uint64
-	seq  uint64
+	reqs  *store.Requests
+	reqsN []*store.Requests
+	lbID  uint64
+	seq   uint64
 }
 
 // secureConn frames tagged messages through AEAD sealing. Send and receive
@@ -255,6 +269,32 @@ func (c *secureConn) sendReqs(tag byte, lbID, seq uint64, r *store.Requests) err
 	return c.writeSealed(c.ptBuf)
 }
 
+// sendReqsN transmits one epoch's batches as a single grouped frame: one
+// delivery tag, one AEAD seal, one write for all of them. The plaintext
+// buffer is pre-sized from the known frame lengths, so steady-state
+// encoding is a pure copy.
+func (c *secureConn) sendReqsN(tag byte, lbID, seq uint64, rs []*store.Requests) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	need := 1 + deliveryTagLen + 4
+	for _, r := range rs {
+		need += 4 + wirecode.FrameLen(r.Len(), r.BlockSize)
+	}
+	if cap(c.ptBuf) < need {
+		c.ptBuf = make([]byte, 0, need)
+	}
+	b := append(c.ptBuf[:0], tag)
+	b = binary.LittleEndian.AppendUint64(b, lbID)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(wirecode.FrameLen(r.Len(), r.BlockSize)))
+		b = wirecode.AppendRequests(b, r)
+	}
+	c.ptBuf = b
+	return c.writeSealed(c.ptBuf)
+}
+
 // writeSealed seals pt into the reused ciphertext buffer behind a 4-byte
 // big-endian length prefix and writes the whole frame in one call.
 func (c *secureConn) writeSealed(pt []byte) error {
@@ -312,8 +352,51 @@ func (c *secureConn) recv() (*message, error) {
 			kind = "resp"
 		}
 		return &message{Kind: kind, reqs: r, lbID: lbID, seq: seq}, nil
+	case tagBatchN, tagRespN:
+		if len(payload) < deliveryTagLen+4 {
+			return nil, fmt.Errorf("transport: frame too short for grouped delivery tag")
+		}
+		lbID := binary.LittleEndian.Uint64(payload)
+		seq := binary.LittleEndian.Uint64(payload[8:])
+		count := binary.LittleEndian.Uint32(payload[deliveryTagLen:])
+		if count > maxBatchesPerFrame {
+			return nil, fmt.Errorf("transport: grouped frame of %d batches exceeds limit", count)
+		}
+		rest := payload[deliveryTagLen+4:]
+		rs := make([]*store.Requests, count)
+		for i := range rs {
+			if len(rest) < 4 {
+				putAll(rs[:i])
+				return nil, fmt.Errorf("transport: grouped frame truncated at batch %d", i)
+			}
+			fl := int(binary.LittleEndian.Uint32(rest))
+			if fl < 0 || fl > len(rest)-4 {
+				putAll(rs[:i])
+				return nil, fmt.Errorf("transport: grouped frame sub-length %d out of range", fl)
+			}
+			r, err := wirecode.DecodeRequests(rest[4:4+fl], arena.Default)
+			if err != nil {
+				putAll(rs[:i])
+				return nil, err
+			}
+			rs[i] = r
+			rest = rest[4+fl:]
+		}
+		kind := "batchN"
+		if tag == tagRespN {
+			kind = "respN"
+		}
+		return &message{Kind: kind, reqsN: rs, lbID: lbID, seq: seq}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown frame tag %#x", tag)
+	}
+}
+
+// putAll releases a prefix of decoded batches back to the arena (grouped
+// frame decode-error cleanup).
+func putAll(rs []*store.Requests) {
+	for _, r := range rs {
+		arena.Default.PutRequests(r)
 	}
 }
 
@@ -429,9 +512,10 @@ type ReplayCache struct {
 }
 
 type replayEntry struct {
-	seq  uint64
-	resp *store.Requests // private clone, not arena-backed
-	used uint64
+	seq   uint64
+	resp  *store.Requests   // private clone, not arena-backed (single delivery)
+	respN []*store.Requests // private clones (grouped delivery)
+	used  uint64
 }
 
 // NewReplayCache returns an empty cache.
@@ -455,6 +539,9 @@ func (rc *ReplayCache) apply(sub Partition, m *message) (*store.Requests, bool, 
 	if e != nil {
 		e.used = rc.tick
 		if m.seq == e.seq {
+			if e.resp == nil {
+				return nil, false, fmt.Errorf("%w: batch %d for lb %#x redelivered as a different frame kind", ErrStale, m.seq, m.lbID)
+			}
 			return e.resp, true, nil
 		}
 		if m.seq < e.seq {
@@ -472,7 +559,56 @@ func (rc *ReplayCache) apply(sub Partition, m *message) (*store.Requests, bool, 
 	}
 	e.seq = m.seq
 	e.resp = out.Clone() // survives the arena release of out
+	e.respN = nil
 	return out, false, nil
+}
+
+// applyN is apply for a grouped delivery: the batches are applied to the
+// partition in slice order under one delivery tag, all-or-nothing from the
+// client's perspective. A partition error after a prefix has been applied
+// is reported as an error for the whole group (the same ambiguous-outcome
+// contract a lost single-batch response already has); the entry is not
+// recorded, so the delivery is never replayed as a success. The returned
+// slice is freshly allocated and owned by the caller; non-replayed
+// responses are arena-backed, replayed ones are the cache's private clones.
+func (rc *ReplayCache) applyN(sub Partition, m *message) ([]*store.Requests, bool, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.tick++
+	e := rc.last[m.lbID]
+	if e != nil {
+		e.used = rc.tick
+		if m.seq == e.seq {
+			if e.respN == nil || len(e.respN) != len(m.reqsN) {
+				return nil, false, fmt.Errorf("%w: group %d for lb %#x redelivered with a different shape", ErrStale, m.seq, m.lbID)
+			}
+			return e.respN, true, nil
+		}
+		if m.seq < e.seq {
+			return nil, false, fmt.Errorf("%w: group %d for lb %#x (last applied %d)", ErrStale, m.seq, m.lbID, e.seq)
+		}
+	}
+	outs := make([]*store.Requests, len(m.reqsN))
+	for i, r := range m.reqsN {
+		out, err := sub.BatchAccess(r)
+		if err != nil {
+			putAll(outs[:i])
+			return nil, false, fmt.Errorf("batch %d of %d: %w", i, len(m.reqsN), err)
+		}
+		outs[i] = out
+	}
+	if e == nil {
+		e = &replayEntry{used: rc.tick}
+		rc.last[m.lbID] = e
+		rc.evictLocked()
+	}
+	e.seq = m.seq
+	e.resp = nil
+	e.respN = make([]*store.Requests, len(outs))
+	for i, out := range outs {
+		e.respN[i] = out.Clone() // survives the arena release of outs
+	}
+	return outs, false, nil
 }
 
 // initLocked serializes Init against in-flight batches and resets the
@@ -591,6 +727,34 @@ func serveConn(sc *secureConn, sub Partition, opts ServeOptions) {
 			if sendErr != nil {
 				return
 			}
+		case "batchN":
+			// A grouped frame counts once per contained batch so the served
+			// counter keeps its meaning across framing modes.
+			opts.tel.batches.Add(uint64(len(m.reqsN)))
+			tb0 := opts.Telemetry.Now()
+			outs, replayed, err := opts.Replay.applyN(sub, m)
+			putAll(m.reqsN) // batches consumed
+			if err != nil {
+				if errors.Is(err, ErrStale) {
+					opts.tel.stale.Inc()
+				}
+				if err := sc.send(&message{Kind: "err", Error: err.Error()}); err != nil {
+					return
+				}
+				sc.conn.SetWriteDeadline(time.Time{})
+				continue
+			}
+			if replayed {
+				opts.tel.replays.Inc()
+			}
+			opts.tel.batchDur.Observe(time.Duration(opts.Telemetry.Now() - tb0))
+			sendErr := sc.sendReqsN(tagRespN, m.lbID, m.seq, outs)
+			if !replayed {
+				putAll(outs)
+			}
+			if sendErr != nil {
+				return
+			}
 		default:
 			if err := sc.send(&message{Kind: "err", Error: "unknown message kind"}); err != nil {
 				return
@@ -658,6 +822,8 @@ type RemoteSubORAM struct {
 	mu  sync.Mutex // serializes RPCs (incl. reconnects) on the channel
 	sc  *secureConn
 	seq uint64 // delivery tag of the batch in flight
+
+	outScratch []*store.Requests // BatchAccessN result slice, reused under mu
 
 	connMu    sync.Mutex // guards sc swaps against Close (which skips mu)
 	closed    chan struct{}
@@ -972,6 +1138,53 @@ func (r *RemoteSubORAM) BatchAccess(reqs *store.Requests) (*store.Requests, erro
 	// per successful epoch delivery.
 	r.telRPC.Observe(time.Duration(r.opts.Telemetry.Now() - tr0))
 	return out, nil
+}
+
+// BatchAccessN implements core.BatchedSubORAMClient: one epoch's batches
+// travel as a single grouped frame under one delivery tag — one AEAD seal,
+// one round trip, one open, however many load-balancer batches the epoch
+// has. Application on the server is all-or-nothing per the replay cache's
+// grouped-delivery contract; batches are applied in slice order. The
+// returned slice is valid only until the next BatchAccessN call on this
+// handle; the responses in it are arena-backed and owned by the caller.
+func (r *RemoteSubORAM) BatchAccessN(reqs []*store.Requests) ([]*store.Requests, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	seq := r.seq
+	tr0 := r.opts.Telemetry.Now()
+	if cap(r.outScratch) < len(reqs) {
+		r.outScratch = make([]*store.Requests, len(reqs))
+	}
+	outs := r.outScratch[:len(reqs)]
+	err := r.withRetry(r.opts.RPCTimeout, func(sc *secureConn) error {
+		if err := sc.sendReqsN(tagBatchN, r.lbID, seq, reqs); err != nil {
+			return err
+		}
+		reply, err := sc.recv()
+		if err != nil {
+			return err
+		}
+		switch reply.Kind {
+		case "respN":
+			if reply.lbID != r.lbID || reply.seq != seq || len(reply.reqsN) != len(reqs) {
+				putAll(reply.reqsN)
+				return fmt.Errorf("transport: grouped response tag (%#x,%d,%d) does not match batch (%#x,%d,%d)",
+					reply.lbID, reply.seq, len(reply.reqsN), r.lbID, seq, len(reqs))
+			}
+			copy(outs, reply.reqsN)
+			return nil
+		case "err":
+			return &RemoteError{Msg: reply.Error}
+		default:
+			return fmt.Errorf("transport: unexpected reply %q", reply.Kind)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.telRPC.Observe(time.Duration(r.opts.Telemetry.Now() - tr0))
+	return outs, nil
 }
 
 // Close tears down the connection. It never waits for an in-flight RPC:

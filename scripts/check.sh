@@ -29,4 +29,18 @@ go test -race -timeout 45m \
   ./internal/ohash/... \
   ./internal/telemetry/... \
   ./internal/metrics/...
+
+# Focused re-run of the overlapped epoch engine's highest-risk surface at
+# pipeline depth > 1: the Flush/Close/stats soak with a faultnet-stalled
+# partition mid-drain, the depth-token liveness test, arena isolation
+# across in-flight epochs, and the leakage suite with the pipeline on
+# (Pipeline=true, PipelineDepth=4). These run above as part of their
+# packages; re-running them -count=2 shakes out schedule-dependent
+# interleavings the single pass can miss.
+go test -race -timeout 15m -count=2 \
+  -run 'TestPipelinedSoakWithStalledRemote|TestFlushBlockedOnDepthUnblocksOnClose|TestPipelinedEpochsArenaIsolation|TestPartStageBZeroAlloc' \
+  ./internal/core/
+go test -race -timeout 15m -count=2 \
+  -run 'TestTelemetryTraceIndependentOfSecretsPipelined' \
+  ./internal/trace/
 echo "check.sh: OK"

@@ -74,6 +74,14 @@ type Config struct {
 	// sustained throughput when load balancers and subORAMs would
 	// otherwise idle waiting for each other.
 	Pipeline bool
+	// PipelineDepth bounds how many epochs may be in flight at once when
+	// Pipeline is set: stage A of epoch N+1 may start while stage B of
+	// epoch N and stage C of epoch N-1 are still running, up to this many
+	// unfinished epochs. Zero picks a default from GOMAXPROCS (clamped to
+	// [2,4]). The depth is public deployment configuration — backpressure
+	// depends only on it and the epoch schedule, never on request
+	// contents. Ignored when Pipeline is false.
+	PipelineDepth int
 	// DataDir, when non-empty, makes the deployment durable: every
 	// partition keeps sealed snapshots and a sealed write-ahead log under
 	// this directory (internal/persist), every acknowledged write is on
@@ -158,6 +166,7 @@ func Open(cfg Config) (*Store, error) {
 		SortWorkers:      cfg.SortWorkers,
 		Sealed:           cfg.Sealed,
 		Pipeline:         cfg.Pipeline,
+		PipelineDepth:    cfg.PipelineDepth,
 		DataDir:          cfg.DataDir,
 		DiskResident:     cfg.DiskResident,
 		SegmentBytes:     cfg.SegmentBytes,
@@ -184,6 +193,7 @@ func OpenWithSubORAMs(cfg Config, subs []SubORAM) (*Store, error) {
 		EpochDuration:    cfg.Epoch,
 		SortWorkers:      cfg.SortWorkers,
 		Pipeline:         cfg.Pipeline,
+		PipelineDepth:    cfg.PipelineDepth,
 		FailoverAfter:    cfg.FailoverAfter,
 		Failover:         cfg.Failover,
 		OnFailover:       cfg.OnFailover,
