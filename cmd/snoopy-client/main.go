@@ -17,12 +17,14 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snoopy"
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
 	"snoopy/internal/metrics"
+	"snoopy/internal/transport"
 	"snoopy/internal/workload"
 )
 
@@ -45,6 +47,10 @@ func main() {
 	failoverAfter := flag.Int("failover-after", 3, "consecutive failed epochs before promoting a standby (used with -standbys)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /trace/epochs, and /debug/pprof on this address (empty = off)")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the process (and its telemetry endpoint) alive this long after the workload finishes")
+	journalDir := flag.String("journal-dir", "", "epoch-journal directory for a fault-tolerant root (shared with snoopy-server -standby-root); enables idempotent ops")
+	replyWindow := flag.Int("reply-window", 0, "root reply-dedupe window in requests (0 = default 4096; used with -journal-dir)")
+	opRetries := flag.Int("op-retries", 3, "retries per op under the same idempotency ID after a root/partition failure (with -journal-dir)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "delay between idempotent op retries (0 = one epoch)")
 	flag.Parse()
 
 	var key crypt.Key
@@ -95,7 +101,12 @@ func main() {
 		Epoch:         *epoch,
 		Pipeline:      *pipeline,
 		PipelineDepth: *pipelineDepth,
+		JournalDir:    *journalDir,
+		ReplyWindow:   *replyWindow,
 		Telemetry:     reg,
+	}
+	if *retryBackoff <= 0 {
+		*retryBackoff = *epoch
 	}
 
 	// With -standbys, a supervisor promotes the next unused standby when a
@@ -154,10 +165,19 @@ func main() {
 		*ops, *clients, 100**writeFrac)
 	gen := workload.Mix(workload.Uniform(*objects), *writeFrac)
 	var lat metrics.Latencies
-	var failed metrics.Counter
+	var failed, retried, suppressed metrics.Counter
 	th := metrics.NewThroughput()
 	var wg sync.WaitGroup
 	perClient := (*ops + *clients - 1) / *clients
+	// With -journal-dir, every op carries a unique idempotency ID and is
+	// retried under that same ID after a failure: a retry of a request the
+	// root already answered (including one replayed from the journal by a
+	// promoted standby) returns the original parked answer instead of
+	// re-executing. The dedup window is the client-side half: if an answer
+	// somehow arrives twice, only the first delivery counts.
+	idem := *journalDir != ""
+	var nextID atomic.Uint64
+	dedup := transport.NewReplyDedup(*replyWindow)
 	for c := 0; c < *clients; c++ {
 		c := c
 		wg.Add(1)
@@ -168,14 +188,32 @@ func main() {
 				op := gen(rng)
 				t0 := time.Now()
 				var err error
-				if op.Write {
+				if idem {
+					id := nextID.Add(1)
+					for attempt := 0; ; attempt++ {
+						if op.Write {
+							_, _, err = st.WriteIdem(id, op.Key, []byte(fmt.Sprintf("w-%d-%d", c, i)))
+						} else {
+							_, _, err = st.ReadIdem(id, op.Key)
+						}
+						if err == nil || attempt >= *opRetries {
+							break
+						}
+						retried.Inc()
+						time.Sleep(*retryBackoff)
+					}
+					if err == nil && !dedup.Deliver(id) {
+						suppressed.Inc()
+						continue // duplicate answer; already counted
+					}
+				} else if op.Write {
 					_, _, err = st.Write(op.Key, []byte(fmt.Sprintf("w-%d-%d", c, i)))
 				} else {
 					_, _, err = st.Read(op.Key)
 				}
 				if err != nil {
 					failed.Inc()
-					if sup == nil {
+					if sup == nil && !idem {
 						log.Printf("op failed: %v", err)
 						return
 					}
@@ -198,6 +236,9 @@ func main() {
 		stats.SubORAM.Round(time.Microsecond), stats.Match.Round(time.Microsecond))
 	if n := failed.Load(); n > 0 {
 		fmt.Printf("failed ops: %d\n", n)
+	}
+	if n := retried.Load(); n > 0 {
+		fmt.Printf("idempotent retries: %d (duplicate answers suppressed: %d)\n", n, suppressed.Load())
 	}
 	if sup != nil {
 		h := st.Health()

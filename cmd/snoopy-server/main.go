@@ -28,16 +28,40 @@
 // -lambda, and shared -lb-key routing key:
 //
 //	snoopy-server -listen :7002 -leaf 0 -lb-leaves 4 -suborams 8 -lb-key 8899aabb... -platform ...
+//
+// With -standby-root, the process is a warm standby for a load-balancer
+// root that journals its epochs (Config.JournalDir / snoopy-client
+// -journal-dir): it probes the primary root's liveness address every
+// -probe-interval, and after -fail-after consecutive misses it promotes
+// itself — it attests to the partition servers, opens the shared journal
+// directory (which replays any journaled-but-incomplete epochs under the
+// dead root's delivery tags; the partitions' replay caches make the
+// re-dispatch exactly-once), and serves epochs from then on. The scope is
+// honest about what this binary can and cannot recover: replayed answers
+// are parked in the promoted root's reply window for clients that retry
+// under their original idempotency IDs, but client connections themselves
+// are process-local in this reproduction — a client embedded in the dead
+// primary must reconnect to the standby by its own means (e.g. rerun
+// snoopy-client against the same -journal-dir). The journal directory
+// must be shared storage reachable from both roots:
+//
+//	snoopy-server -standby-root -journal-dir /srv/snoopy/journal \
+//	              -primary 127.0.0.1:9100 -servers 127.0.0.1:7001,127.0.0.1:7002 \
+//	              -fail-after 3 -probe-interval 1s -platform ...
 package main
 
 import (
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"time"
 
+	"snoopy/internal/cluster"
+	"snoopy/internal/core"
 	"snoopy/internal/crypt"
 	"snoopy/internal/enclave"
 	"snoopy/internal/loadbalancer"
@@ -127,6 +151,84 @@ func serveLeaf(listen string, index, leaves, fanIn, subORAMs, lambda, block, sor
 	}
 }
 
+// standbyRoot runs the warm-standby root loop: probe the primary, and on
+// a trip promote by opening the shared journal directory over attested
+// partition connections. Runs until the process is killed.
+func standbyRoot(primary, journalDir, servers string, failAfter int, probeInterval, epoch time.Duration,
+	block, lbs, lambda int, platform *enclave.Platform, reg *telemetry.Registry) {
+	if journalDir == "" {
+		log.Fatal("-standby-root requires -journal-dir (shared with the primary root)")
+	}
+	if primary == "" {
+		log.Fatal("-standby-root requires -primary (a TCP address the primary keeps open, e.g. its -telemetry-addr)")
+	}
+	if servers == "" {
+		log.Fatal("-standby-root requires -servers (the partition endpoints to adopt on promotion)")
+	}
+	m := enclave.Measure(Program)
+	addrs := strings.Split(servers, ",")
+
+	sup := cluster.NewSupervisor(len(addrs), nil, cluster.Policy{
+		FailAfter:     failAfter,
+		ProbeInterval: probeInterval,
+		ProbeTimeout:  probeInterval,
+	})
+	if reg != nil {
+		sup.Instrument(reg)
+	}
+	promote := func(old *core.System) (*core.System, error) {
+		if old != nil {
+			old.Close()
+		}
+		subs := make([]core.SubORAMClient, len(addrs))
+		for i, addr := range addrs {
+			sub, err := transport.Dial(strings.TrimSpace(addr), platform, m)
+			if err != nil {
+				return nil, fmt.Errorf("partition %s: %w", addr, err)
+			}
+			subs[i] = sub
+		}
+		sys, err := core.NewWithSubORAMs(core.Config{
+			BlockSize:        block,
+			NumLoadBalancers: lbs,
+			Lambda:           lambda,
+			EpochDuration:    epoch,
+			JournalDir:       journalDir,
+			Telemetry:        reg,
+		}, subs)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("promoted: serving as root over journal %s (incomplete epochs replayed, delivery tags adopted)",
+			journalDir)
+		return sys, nil
+	}
+	sup.SuperviseRoot(nil, promote)
+	// Until promoted, liveness is the primary's TCP endpoint; after, it is
+	// our own (now-primary) root. Probe outcomes feed the same
+	// consecutive-miss detector partitions use.
+	sup.WatchRoot(func(sys *core.System, timeout time.Duration) error {
+		if sys != nil {
+			if sys.Crashed() {
+				return errors.New("local root crashed")
+			}
+			return nil
+		}
+		c, err := net.DialTimeout("tcp", primary, timeout)
+		if err != nil {
+			return err
+		}
+		return c.Close()
+	})
+	fmt.Printf("standby root: probing %s every %v (fail-after=%d journal=%s partitions=%d)\n",
+		primary, probeInterval, failAfter, journalDir, len(addrs))
+	for range time.Tick(10 * probeInterval) {
+		if st := sup.Stats(); st.RootTrips > 0 {
+			log.Printf("root plane: %s", st.String())
+		}
+	}
+}
+
 func main() {
 	listen := flag.String("listen", ":7001", "address to listen on")
 	block := flag.Int("block", 160, "object size in bytes")
@@ -148,6 +250,14 @@ func main() {
 	lambda := flag.Int("lambda", 128, "batch-sizing security parameter in bits, for -leaf")
 	sortWorkers := flag.Int("sort-workers", 0, "oblivious sort worker threads for -leaf (0 = 1)")
 	lbKeyHex := flag.String("lb-key", "", "shared LB routing key (64 hex chars) for -leaf; empty generates one and prints it")
+	standbyRootMode := flag.Bool("standby-root", false, "run as a warm standby for a journaling LB root instead of a partition")
+	journalDir := flag.String("journal-dir", "", "shared epoch-journal directory for -standby-root (same as the primary root's)")
+	primary := flag.String("primary", "", "primary root liveness address probed by -standby-root (any TCP endpoint it keeps open)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "primary liveness probe interval for -standby-root")
+	failAfter := flag.Int("fail-after", 3, "consecutive missed probes before -standby-root promotes itself")
+	servers := flag.String("servers", "", "comma-separated partition addresses adopted by -standby-root on promotion")
+	lbs := flag.Int("lbs", 2, "load-balancer count for the promoted root (-standby-root; must match the primary's)")
+	epoch := flag.Duration("epoch", 50*time.Millisecond, "epoch duration for the promoted root (-standby-root)")
 	flag.Parse()
 
 	var key crypt.Key
@@ -176,6 +286,12 @@ func main() {
 		}
 		defer stop()
 		fmt.Printf("telemetry on http://%s (/metrics, /trace/epochs, /debug/pprof)\n", addr)
+	}
+
+	if *standbyRootMode {
+		standbyRoot(*primary, *journalDir, *servers, *failAfter, *probeInterval, *epoch,
+			*block, *lbs, *lambda, platform, reg)
+		return
 	}
 
 	if *leafIndex >= 0 {

@@ -159,12 +159,29 @@ type Stats struct {
 	MeanTimeToRecovery time.Duration
 	// MaxTimeToRecovery is the worst observed recovery.
 	MaxTimeToRecovery time.Duration
+
+	// RootTrips counts root-detector down-transitions (SuperviseRoot) —
+	// strictly separate from partition Trips and LeafTrips: a dead root
+	// must never inflate partition failure accounting, and vice versa.
+	RootTrips uint64
+	// RootPromotions counts standby roots successfully promoted.
+	RootPromotions uint64
+	// RootPromotionFailures counts failed promotion attempts (retried
+	// every ProbeInterval while the root stays down).
+	RootPromotionFailures uint64
+	// RootRecoveries counts completed root outages, and the two durations
+	// below summarize their trip → standby-serving times.
+	RootRecoveries         int
+	RootMeanTimeToRecovery time.Duration
+	RootMaxTimeToRecovery  time.Duration
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("trips=%d leaf_trips=%d promotions=%d promotion_failures=%d recoveries=%d mttr=%v max_ttr=%v",
-		s.Trips, s.LeafTrips, s.Promotions, s.PromotionFailures, s.Recoveries,
-		s.MeanTimeToRecovery, s.MaxTimeToRecovery)
+	return fmt.Sprintf("trips=%d leaf_trips=%d root_trips=%d promotions=%d promotion_failures=%d recoveries=%d mttr=%v max_ttr=%v root_promotions=%d root_promotion_failures=%d root_recoveries=%d root_mttr=%v root_max_ttr=%v",
+		s.Trips, s.LeafTrips, s.RootTrips, s.Promotions, s.PromotionFailures, s.Recoveries,
+		s.MeanTimeToRecovery, s.MaxTimeToRecovery,
+		s.RootPromotions, s.RootPromotionFailures, s.RootRecoveries,
+		s.RootMeanTimeToRecovery, s.RootMaxTimeToRecovery)
 }
 
 // Supervisor ties a Detector to a promotion source, producing the hooks a
@@ -199,6 +216,14 @@ type Supervisor struct {
 	telPromFails   *telemetry.Counter
 	telRecoveryDur *telemetry.Histogram
 
+	// Root-failover plane (SuperviseRoot); nil until installed. Its
+	// telemetry mirrors live here so Instrument works in either order.
+	rootMu            sync.Mutex
+	root              *rootPlane
+	telRootPromotions *telemetry.Counter
+	telRootPromFails  *telemetry.Counter
+	telRootRecovery   *telemetry.Histogram
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -224,6 +249,16 @@ func (s *Supervisor) Instrument(reg *telemetry.Registry) {
 	s.telPromotions = reg.Counter("cluster_promotions_total")
 	s.telPromFails = reg.Counter("cluster_promotion_failures_total")
 	s.telRecoveryDur = reg.Histogram("cluster_time_to_recovery", nil)
+	s.rootMu.Lock()
+	if r := s.root; r != nil {
+		r.det.mu.Lock()
+		r.det.telTrips = reg.Counter("cluster_root_trips_total")
+		r.det.mu.Unlock()
+	}
+	s.rootMu.Unlock()
+	s.telRootPromotions = reg.Counter("cluster_root_promotions_total")
+	s.telRootPromFails = reg.Counter("cluster_root_promotion_failures_total")
+	s.telRootRecovery = reg.Histogram("cluster_root_time_to_recovery", nil)
 }
 
 // SuperviseLeaves adds a second detector over the system's feeds (global
@@ -362,7 +397,7 @@ func (s *Supervisor) Stats() Stats {
 	if s.leafDet != nil {
 		leafTrips = s.leafDet.Trips()
 	}
-	return Stats{
+	st := Stats{
 		Trips:              s.det.Trips(),
 		LeafTrips:          leafTrips,
 		Promotions:         s.promotions.Load(),
@@ -371,6 +406,8 @@ func (s *Supervisor) Stats() Stats {
 		MeanTimeToRecovery: s.recovery.Mean(),
 		MaxTimeToRecovery:  s.recovery.Max(),
 	}
+	s.rootStats(&st)
+	return st
 }
 
 // Close stops all Watch loops and waits for them to exit.

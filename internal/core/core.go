@@ -33,6 +33,7 @@ import (
 	"snoopy/internal/store"
 	"snoopy/internal/suboram"
 	"snoopy/internal/telemetry"
+	"snoopy/internal/trace"
 )
 
 // SubORAMClient is the interface the system needs from a partition: local
@@ -150,6 +151,37 @@ type Config struct {
 	// promoted.
 	OnFailover func(part int, took time.Duration, err error)
 
+	// JournalDir, when non-empty, makes the root load balancer itself
+	// crash-tolerant: before every epoch's stage-B dispatch the system
+	// durably journals the merged batches, the client→reply routing tables,
+	// and the per-partition delivery tags to a sealed epoch journal
+	// (internal/persist). On reopen — the same process restarting, or a
+	// standby root promoted over the same directory — journaled-but-
+	// incomplete epochs are replayed against the partitions under their
+	// original (lbID, seq) tags, so partitions that already applied a batch
+	// answer from their replay caches and the epoch commits exactly once.
+	// The journal also pins the oblivious routing key (JournalDir/route.key)
+	// so a successor routes and matches identically.
+	JournalDir string
+	// JournalRec, when non-nil, receives the journal's host-visible I/O
+	// trace (offsets and lengths) — the leakage suite asserts it is
+	// byte-identical across secret-differing workloads.
+	JournalRec *trace.Recorder
+	// ReplyWindow bounds the root's reply-dedupe window: the last that many
+	// successfully answered idempotent request IDs are remembered so a
+	// client retry of an already-answered request returns the original
+	// result instead of re-executing. 0 picks 4096. Public configuration.
+	ReplyWindow int
+
+	// TestCrashPoint, when set, is consulted at named points inside Flush
+	// ("stage-a": after batching, before journaling; "journal": after the
+	// journal commit, before dispatch; "dispatch": after partitions
+	// executed, before any reply). Returning true simulates a root crash at
+	// that point: the system stops silently — no replies, no further epochs
+	// — exactly as a killed process would. Test hook (internal/chaos);
+	// honored only in synchronous (non-Pipeline) mode.
+	TestCrashPoint func(point string, epoch uint64) bool
+
 	// Telemetry, when non-nil, records per-epoch stage spans (stage A
 	// batching, per-partition stage B, stage C match/reply, the whole
 	// epoch) and system counters, and is threaded into every component the
@@ -211,6 +243,10 @@ type pending struct {
 	op   uint8
 	key  uint64
 	user uint64
+	// id is the client-chosen idempotency ID (0 = untracked): successful
+	// results are parked in the reply window under it, and it travels into
+	// the epoch journal so a successor root can route the reply.
+	id   uint64
 	data []byte
 	ch   chan result
 }
@@ -338,6 +374,19 @@ type System struct {
 	closeOne sync.Once
 	ticker   *time.Ticker
 	wg       sync.WaitGroup
+
+	// Root fault-tolerance plane (Config.JournalDir). journal is the sealed
+	// epoch journal; dispTags[s] (guarded by tagMu) is the delivery tag
+	// partition s's next dispatch will travel under — journaled before the
+	// dispatch so a successor can replay it verbatim. replyWin parks
+	// successful results of idempotent requests; crashedCh is closed by a
+	// simulated root crash (TestCrashPoint / Crash).
+	journal   *persist.Journal
+	tagMu     sync.Mutex
+	dispTags  []persist.JournalTag
+	replyWin  *replyWindow
+	crashedCh chan struct{}
+	crashOne  sync.Once
 
 	rng   *rand.Rand
 	rngMu sync.Mutex
@@ -487,6 +536,16 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 		return nil, fmt.Errorf("core: need at least one subORAM")
 	}
 	cfg.NumSubORAMs = len(subs)
+	if cfg.JournalDir != "" && cfg.routeKey == nil {
+		// A successor root must route and match exactly like its
+		// predecessor: pin the oblivious routing key in the journal
+		// directory.
+		key, err := persist.LoadOrCreateRoutingKey(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.routeKey = &key
+	}
 	var key crypt.Key
 	if cfg.routeKey != nil {
 		key = *cfg.routeKey
@@ -595,6 +654,21 @@ func NewWithSubORAMs(cfg Config, subs []SubORAMClient) (*System, error) {
 	for s := range subs {
 		go sys.partitionWorker(s)
 	}
+	sys.crashedCh = make(chan struct{})
+	sys.replyWin = newReplyWindow(cfg.ReplyWindow)
+	if cfg.JournalDir != "" {
+		j, incomplete, err := persist.OpenJournal(cfg.JournalDir, cfg.JournalRec)
+		if err != nil {
+			return nil, err
+		}
+		sys.journal = j
+		// Continue the predecessor's epoch sequence (a crashed, unjournaled
+		// stage A's number is safely reused — it was never dispatched).
+		sys.epoch = j.LastEpoch()
+		sys.initDispTags()
+		sys.replayJournal(incomplete)
+		sys.initDispTags()
+	}
 	if cfg.EpochDuration > 0 {
 		sys.ticker = time.NewTicker(cfg.EpochDuration)
 		sys.wg.Add(1)
@@ -671,12 +745,18 @@ func (sys *System) Close() {
 	// under the same mutex that guards enqueueing, so a submit racing with
 	// Close either lands before this drain (and is failed here) or observes
 	// closed and returns ErrClosed — never a queued request with no reply.
+	crashed := sys.Crashed()
 	for _, st := range sys.lbs {
 		st.mu.Lock()
 		st.closed = true
 		qs := st.queues
 		st.queues = make([][]pending, len(qs))
 		st.mu.Unlock()
+		if crashed {
+			// A crashed root answers nothing — its clients' waits already
+			// resolved to ErrRootDown through the crash channel.
+			continue
+		}
 		for _, q := range qs {
 			for _, p := range q {
 				p.ch <- result{err: ErrClosed}
@@ -685,6 +765,9 @@ func (sys *System) Close() {
 	}
 	for _, dur := range sys.owned {
 		dur.Close()
+	}
+	if sys.journal != nil {
+		sys.journal.Close()
 	}
 }
 
@@ -695,6 +778,18 @@ func (sys *System) submit(op uint8, key uint64, data []byte) (chan result, error
 }
 
 func (sys *System) submitAs(user uint64, op uint8, key uint64, data []byte) (chan result, error) {
+	return sys.submitID(user, op, key, data, 0)
+}
+
+// submitID is submitAs carrying an idempotency ID (0 = untracked).
+func (sys *System) submitID(user uint64, op uint8, key uint64, data []byte, id uint64) (chan result, error) {
+	select {
+	case <-sys.crashedCh:
+		// A crashed root refuses, distinguishably from a clean shutdown:
+		// the client's move is to retry against the promoted successor.
+		return nil, ErrRootDown
+	default:
+	}
 	select {
 	case <-sys.closed:
 		return nil, ErrClosed
@@ -721,7 +816,7 @@ func (sys *System) submitAs(user uint64, op uint8, key uint64, data []byte) (cha
 		st.mu.Unlock()
 		return nil, ErrClosed
 	}
-	st.queues[f] = append(st.queues[f], pending{op: op, key: key, user: user, data: data, ch: ch})
+	st.queues[f] = append(st.queues[f], pending{op: op, key: key, user: user, id: id, data: data, ch: ch})
 	st.mu.Unlock()
 	return ch, nil
 }
@@ -850,8 +945,17 @@ func defaultPipelineDepth() int {
 // the partition workers scan epoch N and stage C matches epoch N−1, up
 // to PipelineDepth epochs in flight.
 func (sys *System) Flush() {
+	select {
+	case <-sys.crashedCh:
+		// A crashed root does nothing — silently, like a killed process.
+		return
+	default:
+	}
 	sys.epochMu.Lock()
 	job := sys.stageA()
+	if sys.crashAt("stage-a", job) {
+		return
+	}
 	if sys.pipeOff {
 		// Close already shut the partition queues: nothing will execute
 		// this job, so every snapshotted request gets its ErrClosed reply
@@ -872,8 +976,27 @@ func (sys *System) Flush() {
 			sys.failJob(job, ErrClosed)
 			return
 		}
+		// Journal-before-dispatch: once Begin returns, the epoch either
+		// completes here or is replayed by a successor. A Begin failure
+		// means the epoch was never acknowledged — failing it without
+		// dispatch keeps "not journaled ⇒ never applied" true, so clients
+		// can safely retry as fresh requests.
+		if err := sys.journalBegin(job); err != nil {
+			<-sys.depthSem
+			sys.epochMu.Unlock()
+			sys.failJob(job, err)
+			return
+		}
 		sys.dispatch(job)
 		sys.epochMu.Unlock()
+		return
+	}
+	if err := sys.journalBegin(job); err != nil {
+		sys.epochMu.Unlock()
+		sys.failJob(job, err)
+		return
+	}
+	if sys.crashAt("journal", job) {
 		return
 	}
 	job.sync = true
@@ -881,6 +1004,9 @@ func (sys *System) Flush() {
 	sys.dispatch(job)
 	sys.epochMu.Unlock()
 	<-job.bFin
+	if sys.crashAfterDispatch(job) {
+		return
+	}
 	sys.finishStageB(job)
 	sys.stageC(job)
 }
@@ -1097,8 +1223,11 @@ func (sys *System) partStageB(job *epochJob, s int) {
 	// Multi-batch fast path: one exchange (and, remotely, one AEAD seal
 	// and one round trip) for the whole epoch instead of one per load
 	// balancer. All-or-nothing per partition, which matches the error
-	// granularity stage C already applies.
-	if bn, ok := sub.(BatchedSubORAMClient); ok && len(gather) > 1 {
+	// granularity stage C already applies. With a journal configured the
+	// grouped path is taken even for a single batch, so every journaled
+	// epoch consumes exactly one delivery tag per partition — the
+	// prediction journalBegin records and a successor replays.
+	if bn, ok := sub.(BatchedSubORAMClient); ok && (len(gather) > 1 || (sys.journal != nil && len(gather) >= 1)) {
 		outs, err := bn.BatchAccessN(gather)
 		if err != nil {
 			job.subErr[s] = fmt.Errorf("suboram %d: %w", s, err)
@@ -1187,6 +1316,9 @@ func (sys *System) stageC(job *epochJob) {
 	}
 
 	sys.stageCStats(job, matchWall)
+	// Every reply for this epoch has been issued (and parked): the journal
+	// no longer needs to replay it.
+	sys.journalComplete(job.id)
 }
 
 // stageCPlane matches one plane's responses and replies to its clients.
@@ -1382,7 +1514,12 @@ func (sys *System) replyFeed(job *epochJob, i, f int, all *store.Requests, anyEr
 		if job.denied != nil && job.denied[i*F+f] != nil {
 			nullDenied(val, &found, job.denied[i*F+f][idx])
 		}
-		p.ch <- result{value: val, found: found == 1}
+		r := result{value: val, found: found == 1}
+		// Park the answer for idempotent retries before delivering it: a
+		// client that saw this root crash a moment later re-asks with the
+		// same ID and gets the original result instead of a re-execution.
+		sys.replyWin.put(p.id, r)
+		p.ch <- r
 	}
 	arena.Default.PutRequests(matched)
 	// Liveness backstop: no queued request may ever be left without a
@@ -1425,6 +1562,16 @@ func (sys *System) repair(s int, old SubORAMClient) {
 	sys.subsMu.Lock()
 	sys.subs[s] = repl
 	sys.subsMu.Unlock()
+	if sys.journal != nil {
+		// The replacement has its own delivery stream; re-predict the tag
+		// the next journaled dispatch to s will travel under. A journaled
+		// epoch already in flight across this swap degrades to
+		// at-least-once for partition s (fresh client, fresh replay cache)
+		// — see the package comment in journal.go.
+		sys.tagMu.Lock()
+		sys.dispTags[s] = tagOf(repl)
+		sys.tagMu.Unlock()
+	}
 	sys.telFailovers.Inc()
 	sys.statsMu.Lock()
 	sys.health.ConsecutiveFailures[s] = 0

@@ -1,0 +1,582 @@
+// Root fault tolerance (Config.JournalDir): the sealed epoch journal, the
+// standby-replay path, the reply-dedupe window behind the idempotent API,
+// and the simulated-crash machinery the chaos harness drives.
+//
+// Exactly-once argument, end to end:
+//
+//   - Journal-before-dispatch. An epoch's merged batches, reply routing
+//     tables (client idempotency IDs per feed row), and per-partition
+//     delivery tags are durably journaled BEFORE any partition sees the
+//     batches. Not journaled ⇒ never applied, so a client retry of an
+//     unacknowledged request re-executes as a fresh request — safe.
+//   - Tagged delivery. Every dispatch travels under the journaled
+//     (lbID, seq) tag; partitions keep a replay cache keyed by it. A
+//     successor root replaying a journaled epoch re-issues the identical
+//     delivery, and a partition that already applied it answers from its
+//     cache instead of applying twice. Journaled ⇒ applied at most once.
+//   - Reply window. Successful results of idempotent requests are parked
+//     under their client-chosen IDs (on the original root at reply time,
+//     on a successor at replay time), so a retry of an already-answered
+//     request returns the original result. The client's own ReplyDedup
+//     window (internal/transport) suppresses the duplicate if both
+//     incarnations manage to answer.
+//
+// Known degradations (documented, exercised by internal/chaos): a
+// partition failover that replaces a tagged client between the crash and
+// the replay presents a fresh replay cache, so that partition's share of
+// the epoch degrades to at-least-once (last-write-wins makes re-applying
+// a journaled batch idempotent at the storage layer for writes of the
+// same epoch, but the guarantee is formally weakened); and requests that
+// carry no idempotency ID (id 0) keep the original at-least-once
+// semantics throughout.
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/persist"
+	"snoopy/internal/store"
+)
+
+// ErrRootDown is returned for requests submitted to (or in flight on) a
+// crashed root load balancer. Clients retry against the promoted standby
+// with the same idempotency ID.
+var ErrRootDown = errors.New("core: root load balancer down")
+
+// TaggedClient is the optional partition-client hook root fault tolerance
+// builds on: the journal records each client's delivery tag before
+// dispatch, and a successor adopts the recorded tags before replaying.
+// transport.RemoteSubORAM and transport.LocalTagged implement it.
+type TaggedClient interface {
+	// DeliveryTag returns the delivery-stream identity and last consumed
+	// sequence number.
+	DeliveryTag() (lbID, seq uint64)
+	// AdoptDeliveryTag overrides both, so the next dispatch replays the
+	// predecessor's delivery.
+	AdoptDeliveryTag(lbID, seq uint64)
+}
+
+// replyWindow parks successful results of idempotent requests under their
+// client-chosen IDs, bounded FIFO like transport.ReplyDedup: it needs to
+// cover the client retry horizon, not the session.
+type replyWindow struct {
+	mu   sync.Mutex
+	seen map[uint64]result
+	ring []uint64
+	next int
+}
+
+func newReplyWindow(n int) *replyWindow {
+	if n <= 0 {
+		n = 4096
+	}
+	return &replyWindow{seen: make(map[uint64]result, n), ring: make([]uint64, n)}
+}
+
+// put parks a successful result under id. Errors are not parked: a failed
+// request was not answered, and the client's retry should re-execute it.
+func (w *replyWindow) put(id uint64, r result) {
+	if id == 0 || r.err != nil {
+		return
+	}
+	// The caller may hand the same value slice to the live client; park a
+	// private copy so a later retry cannot observe client mutations.
+	r.value = append([]byte(nil), r.value...)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.seen[id]; dup {
+		return
+	}
+	if old := w.ring[w.next]; old != 0 {
+		delete(w.seen, old)
+	}
+	w.ring[w.next] = id
+	w.next = (w.next + 1) % len(w.ring)
+	w.seen[id] = r
+}
+
+func (w *replyWindow) get(id uint64) (result, bool) {
+	if id == 0 {
+		return result{}, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r, ok := w.seen[id]
+	if ok {
+		// Hand out a copy: the caller owns its answer, and a later retry
+		// must not observe the first retry's mutations.
+		r.value = append([]byte(nil), r.value...)
+	}
+	return r, ok
+}
+
+// tagOf resolves the journaled delivery tag for one partition client: only
+// clients that are both tagged and batched get a real tag (the journal
+// predicts exactly one BatchAccessN per partition per epoch). The zero tag
+// marks an untagged client, whose replay is at-least-once.
+func tagOf(sub SubORAMClient) persist.JournalTag {
+	if tc, ok := sub.(TaggedClient); ok {
+		if _, ok := sub.(BatchedSubORAMClient); ok {
+			lbID, seq := tc.DeliveryTag()
+			return persist.JournalTag{LBID: lbID, Seq: seq}
+		}
+	}
+	return persist.JournalTag{}
+}
+
+// initDispTags (re)loads the per-partition dispatch-tag predictions from
+// the live clients — at open, and again after a journal replay consumed
+// sequence numbers.
+func (sys *System) initDispTags() {
+	subs := sys.snapshotSubs()
+	sys.tagMu.Lock()
+	if sys.dispTags == nil {
+		sys.dispTags = make([]persist.JournalTag, len(subs))
+	}
+	for s, sub := range subs {
+		sys.dispTags[s] = tagOf(sub)
+	}
+	sys.tagMu.Unlock()
+}
+
+// journalBegin durably journals an epoch before its dispatch: the merged
+// batches, the per-feed reply routing (client idempotency IDs in queue
+// order), and the delivery tags the dispatch will consume. No-op without a
+// journal. Caller holds epochMu, so the tag prediction cannot race another
+// dispatch.
+func (sys *System) journalBegin(job *epochJob) error {
+	if sys.journal == nil {
+		return nil
+	}
+	F := sys.feedsPerPlane
+	rec := persist.JournalEpoch{
+		Epoch:     job.id,
+		BlockSize: sys.cfg.BlockSize,
+		ACLOK:     job.aclErr == nil,
+		Planes:    make([]persist.JournalPlane, len(sys.lbs)),
+	}
+	sys.tagMu.Lock()
+	rec.Tags = append([]persist.JournalTag(nil), sys.dispTags...)
+	sys.tagMu.Unlock()
+	nLive := 0
+	for i := range job.eps {
+		ep := &job.eps[i]
+		p := &rec.Planes[i]
+		p.OK = ep.err == nil && ep.batches != nil
+		if p.OK {
+			nLive++
+			p.PerSub = ep.perSub
+			p.Batch = ep.batches.All
+			p.Dropped = ep.droppedKeys
+		}
+		p.Feeds = make([]persist.JournalFeed, F)
+		for f := 0; f < F; f++ {
+			fd := &p.Feeds[f]
+			fd.OK = p.OK && (ep.feedErrs == nil || ep.feedErrs[f] == nil)
+			fd.Reqs = ep.feedReqs[f]
+			q := job.queues[i*F+f]
+			fd.IDs = make([]uint64, len(q))
+			for j := range q {
+				fd.IDs[j] = q[j].id
+			}
+			if ep.droppedByFeed != nil {
+				fd.Dropped = ep.droppedByFeed[f]
+			}
+			if job.denied != nil {
+				fd.Denied = job.denied[i*F+f]
+			}
+		}
+	}
+	if err := sys.journal.Begin(&rec); err != nil {
+		return err
+	}
+	// The dispatch this record describes will consume exactly one grouped
+	// delivery per partition (partStageB forces BatchAccessN whenever a
+	// journal is configured); advance the predictions to the tags the NEXT
+	// epoch will travel under.
+	if nLive > 0 {
+		sys.tagMu.Lock()
+		for s := range sys.dispTags {
+			if sys.dispTags[s] != (persist.JournalTag{}) {
+				sys.dispTags[s].Seq++
+			}
+		}
+		sys.tagMu.Unlock()
+	}
+	return nil
+}
+
+// journalComplete marks an epoch fully replied; the journal drops it from
+// the replay set (and compacts once the open set drains).
+func (sys *System) journalComplete(epoch uint64) {
+	if sys.journal != nil {
+		sys.journal.Complete(epoch)
+	}
+}
+
+// replayJournal re-issues every journaled-but-incomplete epoch of a
+// crashed predecessor, in epoch order, before the system serves. Called
+// from NewWithSubORAMs, before workers accept new epochs.
+func (sys *System) replayJournal(incomplete []*persist.JournalEpoch) {
+	for _, je := range incomplete {
+		sys.replayEpoch(je)
+		sys.journal.Complete(je.Epoch)
+		je.Release()
+	}
+}
+
+// replayEpoch re-runs one journaled epoch: adopt the journaled delivery
+// tags, re-dispatch each partition's batches in fixed plane order (the
+// partitions' replay caches deduplicate already-applied deliveries),
+// re-match the responses against the journaled request snapshots, and park
+// the results in the reply window under the journaled idempotency IDs so
+// retried clients get their answers.
+func (sys *System) replayEpoch(je *persist.JournalEpoch) {
+	subs := sys.snapshotSubs()
+	S := len(subs)
+	if len(je.Tags) != S || len(je.Planes) != len(sys.lbs) {
+		// A different deployment shape than the journal was written under;
+		// nothing can be replayed meaningfully. Fail closed: skip.
+		return
+	}
+	for s, sub := range subs {
+		if je.Tags[s] == (persist.JournalTag{}) {
+			continue
+		}
+		if tc, ok := sub.(TaggedClient); ok {
+			tc.AdoptDeliveryTag(je.Tags[s].LBID, je.Tags[s].Seq)
+		}
+	}
+	live := make([]int, 0, len(je.Planes))
+	for i := range je.Planes {
+		if je.Planes[i].OK && je.Planes[i].Batch != nil {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	responses := make([][]*store.Requests, len(je.Planes))
+	for i := range responses {
+		responses[i] = make([]*store.Requests, S)
+	}
+	subErr := make([]error, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gather := make([]*store.Requests, 0, len(live))
+			for _, i := range live {
+				p := &je.Planes[i]
+				gather = append(gather, p.Batch.View(s*p.PerSub, (s+1)*p.PerSub))
+			}
+			if bn, ok := subs[s].(BatchedSubORAMClient); ok {
+				outs, err := bn.BatchAccessN(gather)
+				if err != nil {
+					subErr[s] = err
+					return
+				}
+				for k, i := range live {
+					responses[i][s] = outs[k]
+				}
+				return
+			}
+			for k, i := range live {
+				out, err := subs[s].BatchAccess(gather[k])
+				if err != nil {
+					subErr[s] = err
+					return
+				}
+				responses[i][s] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if je.ACLOK {
+		for _, i := range live {
+			sys.replayPlaneReplies(je, i, responses[i], subErr)
+		}
+	}
+	for i := range responses {
+		for s := range responses[i] {
+			arena.Default.PutRequests(responses[i][s])
+			responses[i][s] = nil
+		}
+	}
+}
+
+// replayPlaneReplies re-matches one plane's replayed responses and parks
+// each tracked request's result in the reply window.
+func (sys *System) replayPlaneReplies(je *persist.JournalEpoch, i int, resp []*store.Requests, subErr []error) {
+	p := &je.Planes[i]
+	total := 0
+	for s := range resp {
+		if subErr[s] == nil && resp[s] != nil {
+			total += resp[s].Len()
+		}
+	}
+	all := arena.Default.GetRequests(total, je.BlockSize)
+	defer arena.Default.PutRequests(all)
+	off := 0
+	for s := range resp {
+		if subErr[s] == nil && resp[s] != nil {
+			all.CopyRowsPlain(off, resp[s])
+			off += resp[s].Len()
+		}
+	}
+	var droppedSet map[uint64]struct{}
+	addDropped := func(keys []uint64) {
+		for _, k := range keys {
+			if droppedSet == nil {
+				droppedSet = make(map[uint64]struct{})
+			}
+			droppedSet[k] = struct{}{}
+		}
+	}
+	addDropped(p.Dropped)
+	for f := range p.Feeds {
+		fd := &p.Feeds[f]
+		if !fd.OK || fd.Reqs == nil || fd.Reqs.Len() == 0 {
+			continue
+		}
+		tracked := false
+		for _, id := range fd.IDs {
+			if id != 0 {
+				tracked = true
+				break
+			}
+		}
+		if !tracked {
+			continue
+		}
+		feedDropped := droppedSet
+		if len(fd.Dropped) > 0 {
+			feedDropped = make(map[uint64]struct{}, len(droppedSet)+len(fd.Dropped))
+			for k := range droppedSet {
+				feedDropped[k] = struct{}{}
+			}
+			for _, k := range fd.Dropped {
+				feedDropped[k] = struct{}{}
+			}
+		}
+		matched, err := sys.lbs[i].bal.MatchResponses(je.Epoch, all, f, fd.Reqs)
+		if err != nil {
+			continue
+		}
+		for j := 0; j < matched.Len(); j++ {
+			idx := matched.Client[j]
+			if idx >= uint64(len(fd.IDs)) {
+				continue
+			}
+			id := fd.IDs[idx]
+			if id == 0 {
+				continue
+			}
+			key := matched.Key[j]
+			if subErr[sys.lbs[i].bal.SubORAMFor(key)] != nil {
+				continue
+			}
+			if _, drop := feedDropped[key]; drop {
+				continue
+			}
+			val := append([]byte(nil), matched.Block(j)...)
+			found := matched.Aux[j]
+			if fd.Denied != nil {
+				nullDenied(val, &found, fd.Denied[idx])
+			}
+			sys.replyWin.put(id, result{value: val, found: found == 1})
+		}
+		arena.Default.PutRequests(matched)
+	}
+}
+
+// --- simulated root crash ---------------------------------------------
+
+// crashLocked transitions the system to the crashed state: no replies, no
+// further epochs, submits fail with ErrRootDown — the observable behavior
+// of a killed root process. Caller holds epochMu.
+func (sys *System) crashLocked() {
+	sys.crashOne.Do(func() { close(sys.crashedCh) })
+	sys.closeOne.Do(func() {
+		close(sys.closed)
+		if sys.ticker != nil {
+			sys.ticker.Stop()
+		}
+	})
+	if !sys.pipeOff {
+		sys.pipeOff = true
+		for _, q := range sys.partQ {
+			close(q)
+		}
+	}
+}
+
+// crashAt consults the test crash hook at a pre-dispatch point. On crash
+// it marks the system dead, releases the job's storage, and answers
+// nothing — clients observe ErrRootDown through the idempotent wait path.
+// Caller holds epochMu; on true it has been released.
+func (sys *System) crashAt(point string, job *epochJob) bool {
+	if sys.cfg.TestCrashPoint == nil || sys.cfg.Pipeline || !sys.cfg.TestCrashPoint(point, job.id) {
+		return false
+	}
+	sys.crashLocked()
+	sys.epochMu.Unlock()
+	sys.releaseJobSilently(job, false)
+	return true
+}
+
+// crashAfterDispatch consults the hook at the post-execution point: the
+// partitions applied the epoch, but no reply (and no journal completion)
+// was issued — the window where only the journal keeps the epoch's
+// effects observable.
+func (sys *System) crashAfterDispatch(job *epochJob) bool {
+	if sys.cfg.TestCrashPoint == nil || sys.cfg.Pipeline || !sys.cfg.TestCrashPoint("dispatch", job.id) {
+		return false
+	}
+	sys.epochMu.Lock()
+	sys.crashLocked()
+	sys.epochMu.Unlock()
+	sys.releaseJobSilently(job, true)
+	return true
+}
+
+// releaseJobSilently returns a crashed job's pooled storage to the arena
+// without replying to anyone — a dead process answers nothing.
+func (sys *System) releaseJobSilently(job *epochJob, withResponses bool) {
+	for i := range job.eps {
+		job.eps[i].batches.Release()
+		job.eps[i].batches = nil
+		for f := range job.eps[i].feedReqs {
+			arena.Default.PutRequests(job.eps[i].feedReqs[f])
+			job.eps[i].feedReqs[f] = nil
+		}
+	}
+	if withResponses {
+		for i := range job.responses {
+			for s := range job.responses[i] {
+				arena.Default.PutRequests(job.responses[i][s])
+				job.responses[i][s] = nil
+			}
+		}
+	}
+}
+
+// Crash simulates a root process death from outside an epoch (the chaos
+// harness's kill switch): the system stops silently, pending requests are
+// never answered, and in-flight idempotent waits return ErrRootDown.
+// Synchronous mode only (like Config.TestCrashPoint).
+func (sys *System) Crash() {
+	sys.epochMu.Lock()
+	sys.crashLocked()
+	sys.epochMu.Unlock()
+	sys.wg.Wait()
+}
+
+// Crashed reports whether the root is in the (simulated) crashed state.
+func (sys *System) Crashed() bool {
+	select {
+	case <-sys.crashedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- idempotent client API --------------------------------------------
+
+// await waits for a request's result, preferring an already-delivered
+// result over the crash signal (the reply channel is buffered, so a reply
+// issued before the crash is never lost).
+func (sys *System) await(ch chan result) result {
+	select {
+	case r := <-ch:
+		return r
+	case <-sys.crashedCh:
+		select {
+		case r := <-ch:
+			return r
+		default:
+			return result{err: ErrRootDown}
+		}
+	}
+}
+
+// submitIdem is submitAs with a client-chosen idempotency ID: if the
+// window already holds id's answer (this incarnation answered it, or a
+// predecessor's journaled epoch was replayed here), it is returned without
+// re-executing.
+func (sys *System) submitIdem(user uint64, op uint8, key uint64, data []byte, id uint64) (chan result, *result, error) {
+	if r, ok := sys.replyWin.get(id); ok {
+		return nil, &r, nil
+	}
+	ch, err := sys.submitID(user, op, key, data, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch, nil, nil
+}
+
+// ReadIdem is Read with exactly-once semantics across root crashes: a
+// retry with the same non-zero id (against this root or its promoted
+// successor over the same journal directory) returns the original answer
+// instead of re-executing. id 0 degrades to plain Read.
+func (sys *System) ReadIdem(id, key uint64) (value []byte, found bool, err error) {
+	ch, parked, err := sys.submitIdem(0, store.OpRead, key, nil, id)
+	if err != nil {
+		return nil, false, err
+	}
+	if parked != nil {
+		return parked.value, parked.found, parked.err
+	}
+	r := sys.await(ch)
+	return r.value, r.found, r.err
+}
+
+// WriteIdem is Write with the same exactly-once contract as ReadIdem: a
+// journaled epoch's write is applied exactly once however many times the
+// client retries across a root crash.
+func (sys *System) WriteIdem(id, key uint64, value []byte) (previous []byte, found bool, err error) {
+	ch, parked, err := sys.submitIdem(0, store.OpWrite, key, value, id)
+	if err != nil {
+		return nil, false, err
+	}
+	if parked != nil {
+		return parked.value, parked.found, parked.err
+	}
+	r := sys.await(ch)
+	return r.value, r.found, r.err
+}
+
+// ReadIdemAsync submits without blocking; the returned function waits.
+func (sys *System) ReadIdemAsync(id, key uint64) (func() ([]byte, bool, error), error) {
+	ch, parked, err := sys.submitIdem(0, store.OpRead, key, nil, id)
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, bool, error) {
+		if parked != nil {
+			return parked.value, parked.found, parked.err
+		}
+		r := sys.await(ch)
+		return r.value, r.found, r.err
+	}, nil
+}
+
+// WriteIdemAsync submits without blocking; the returned function waits.
+func (sys *System) WriteIdemAsync(id, key uint64, value []byte) (func() ([]byte, bool, error), error) {
+	ch, parked, err := sys.submitIdem(0, store.OpWrite, key, value, id)
+	if err != nil {
+		return nil, err
+	}
+	return func() ([]byte, bool, error) {
+		if parked != nil {
+			return parked.value, parked.found, parked.err
+		}
+		r := sys.await(ch)
+		return r.value, r.found, r.err
+	}, nil
+}

@@ -1,0 +1,640 @@
+// Epoch journal: the root load balancer's sealed, crash-recoverable record
+// of every epoch it is about to dispatch (paper §5's failure story extended
+// to the LB plane). Before stage-B dispatch the root appends one sealed
+// record holding the epoch's merged per-plane batches, the client→reply
+// routing tables (per-feed request snapshots plus per-request reply IDs),
+// and the per-partition (lbID, seq) delivery tags the dispatch will use. A
+// standby root that opens the same journal replays the incomplete epochs
+// verbatim: it adopts the journaled delivery tags, so partitions that
+// already applied a batch answer from their replay caches instead of
+// re-applying — the epoch is all-or-nothing across root crashes.
+//
+// Rollback protection mirrors the WAL's: the trusted FileCounter is bumped
+// after each epoch record is durably appended (the acknowledge point), so a
+// host that hides the journal tail leaves the counter ahead of the last
+// readable record and recovery fails with ErrRollback. Records past the
+// counter are crash artifacts of an unacknowledged append — that epoch was
+// never dispatched — and are discarded.
+//
+// Obliviousness: every record's length is a closed-form function of public
+// parameters only — the plane count L, partition count S, feed count F, the
+// Theorem-3 batch size α, and the per-feed request counts R_f, all of which
+// the network adversary already observes. Record contents are AEAD-sealed;
+// the journal's I/O trace (offsets and lengths) is bit-identical across
+// request streams that differ only in secrets, and internal/trace asserts
+// it.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"sync"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/store"
+	"snoopy/internal/trace"
+	"snoopy/internal/wirecode"
+)
+
+const (
+	journalFile    = "journal"
+	journalContext = "snoopy-persist/journal/v1"
+
+	journalKindEpoch = 1
+	journalKindDone  = 2
+	journalKindCkpt  = 3
+
+	// journalPrefixLen is the public stored prefix of every journal record:
+	// u64 epoch + u32 kind, bound through the AAD.
+	journalPrefixLen = 12
+
+	// journalCompactEvery bounds file growth: once no epoch is in flight and
+	// at least this many records accumulated since the last compaction, the
+	// file is atomically rewritten to a single checkpoint record. A public
+	// parameter — compaction timing is a function of the epoch schedule.
+	journalCompactEvery = 16
+)
+
+// JournalTag is the (lbID, seq) delivery-tag state of one partition client
+// immediately before an epoch's dispatch: Seq is the last consumed sequence
+// number, so the epoch's delivery travels as Seq+1. A zero tag marks a
+// partition client without replay-tagged delivery (replay is then
+// at-least-once for that partition).
+type JournalTag struct {
+	LBID uint64
+	Seq  uint64
+}
+
+// JournalFeed is one feed's client→reply routing table: the request
+// snapshot stage A built (row j belongs to queue position j), the
+// per-request reply IDs (0 = caller did not ask for idempotent tracking),
+// and the feed's leaf-local overflow victims.
+type JournalFeed struct {
+	// OK reports whether the feed's run made it into the batches; a failed
+	// feed's requests were never dispatched.
+	OK bool
+	// Reqs is the feed's request snapshot (Seq = Client = queue index).
+	Reqs *store.Requests
+	// IDs[j] is the reply ID of queue position j (len = Reqs.Len()).
+	IDs []uint64
+	// Dropped are the feed's leaf-local Theorem-3 overflow victim keys.
+	Dropped []uint64
+	// Denied, when non-nil, is the per-request ACL denial mask.
+	Denied []uint8
+}
+
+// JournalPlane is one load-balancer plane's stage-A output.
+type JournalPlane struct {
+	// OK reports whether stage A succeeded for the plane (Batch non-nil).
+	OK bool
+	// PerSub is the plane's Theorem-3 per-partition batch size α.
+	PerSub int
+	// Batch holds the merged α·S batch rows in partition-major order
+	// (partition s owns rows [s·α, (s+1)·α)); nil when !OK.
+	Batch *store.Requests
+	// Dropped are the plane-wide overflow victim keys.
+	Dropped []uint64
+	// Feeds are the per-feed routing tables.
+	Feeds []JournalFeed
+}
+
+// JournalEpoch is one journaled epoch: everything a standby root needs to
+// re-issue the epoch and route the replies.
+type JournalEpoch struct {
+	Epoch     uint64
+	BlockSize int
+	// ACLOK is false when the epoch's ACL resolution failed (stage C would
+	// have failed every request; replay parks nothing).
+	ACLOK bool
+	// Tags[s] is partition s's delivery-tag state before this dispatch.
+	Tags   []JournalTag
+	Planes []JournalPlane
+}
+
+// Release returns the epoch's decoded batch and snapshot storage to the
+// arena. Call it after replay.
+func (e *JournalEpoch) Release() {
+	for i := range e.Planes {
+		arena.Default.PutRequests(e.Planes[i].Batch)
+		e.Planes[i].Batch = nil
+		for f := range e.Planes[i].Feeds {
+			arena.Default.PutRequests(e.Planes[i].Feeds[f].Reqs)
+			e.Planes[i].Feeds[f].Reqs = nil
+		}
+	}
+}
+
+// Journal is the root's sealed epoch journal. All methods are safe for
+// concurrent use (Begin runs under the root's epoch mutex, Complete from
+// concurrent stage-C goroutines).
+type Journal struct {
+	mu  sync.Mutex
+	d   *dir
+	ctr *FileCounter
+	f   *os.File
+	off int64 // current append offset (trace bookkeeping)
+
+	open            map[uint64]struct{} // journaled epochs not yet complete
+	last            uint64              // last acknowledged (journaled) epoch
+	completeThrough uint64              // checkpoint base of the current file
+	sinceCompact    int
+}
+
+// OpenJournal opens (or creates) the epoch journal in dirPath, verifies it
+// against the trusted counter, and returns the journaled-but-incomplete
+// epochs in ascending order — the epochs a standby root must replay. The
+// caller owns the returned epochs' storage (JournalEpoch.Release). rec,
+// when non-nil, traces every file operation for the obliviousness tests.
+func OpenJournal(dirPath string, rec *trace.Recorder) (*Journal, []*JournalEpoch, error) {
+	d, err := openDir(dirPath, nil, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctr, _, err := openCounter(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{d: d, ctr: ctr, open: make(map[uint64]struct{})}
+	pending, err := j.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := j.openAppend(); err != nil {
+		releaseAll(pending)
+		return nil, nil, err
+	}
+	return j, pending, nil
+}
+
+func releaseAll(es []*JournalEpoch) {
+	for _, e := range es {
+		e.Release()
+	}
+}
+
+func (j *Journal) openAppend() error {
+	f, err := os.OpenFile(j.d.file(journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	j.f = f
+	j.off = st.Size()
+	return nil
+}
+
+// LastEpoch returns the last journaled (acknowledged) epoch; a recovering
+// root continues its epoch sequence from here.
+func (j *Journal) LastEpoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.last
+}
+
+// Begin durably journals an epoch before its dispatch. Epochs must be
+// journaled in order (rec.Epoch == LastEpoch()+1). On return the record is
+// fsynced and the trusted counter bumped: the epoch is now guaranteed to
+// either complete or be replayed by a successor.
+func (j *Journal) Begin(rec *JournalEpoch) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if rec.Epoch != j.last+1 {
+		return errCorrupt("journal: epoch %d out of order (last journaled %d)", rec.Epoch, j.last)
+	}
+	body := j.sealJournal(rec.Epoch, journalKindEpoch, encodeJournalEpoch(rec))
+	if err := j.append(body); err != nil {
+		return err
+	}
+	// The counter bump is the acknowledge point: a crash before it leaves a
+	// record past the counter, which recovery discards as never-dispatched.
+	j.ctr.Increment()
+	if err := j.ctr.Err(); err != nil {
+		return err
+	}
+	j.last = rec.Epoch
+	j.open[rec.Epoch] = struct{}{}
+	j.sinceCompact++
+	return nil
+}
+
+// Complete marks a journaled epoch fully replied. When no epoch is in
+// flight the journal compacts to a single checkpoint record, bounding file
+// growth to the pipeline depth times the (public) record size.
+func (j *Journal) Complete(epoch uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.open[epoch]; !ok {
+		return nil // already complete (replayed twice, or pre-checkpoint)
+	}
+	var pt [8]byte
+	binary.LittleEndian.PutUint64(pt[:], epoch)
+	if err := j.append(j.sealJournal(epoch, journalKindDone, pt[:])); err != nil {
+		return err
+	}
+	delete(j.open, epoch)
+	j.sinceCompact++
+	if len(j.open) == 0 && j.sinceCompact >= journalCompactEvery {
+		return j.compact()
+	}
+	return nil
+}
+
+// Err surfaces the trusted counter's sticky persistence failure, if any.
+func (j *Journal) Err() error { return j.ctr.Err() }
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// append writes one framed record and fsyncs. Caller holds j.mu.
+func (j *Journal) append(body []byte) error {
+	if j.f == nil {
+		return errors.New("persist: journal closed")
+	}
+	if _, err := j.f.Write(body); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.d.rec.Record(trace.KindFileWrite, int(j.off), len(body))
+	j.off += int64(len(body))
+	return nil
+}
+
+// compact atomically rewrites the journal as one checkpoint record. Caller
+// holds j.mu and has verified no epoch is in flight.
+func (j *Journal) compact() error {
+	var pt [8]byte
+	binary.LittleEndian.PutUint64(pt[:], j.last)
+	body := j.sealJournal(j.last, journalKindCkpt, pt[:])
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	j.f = nil
+	if err := j.d.writeFileAtomic(journalFile, body); err != nil {
+		return err
+	}
+	j.completeThrough = j.last
+	j.sinceCompact = 0
+	return j.openAppend()
+}
+
+// sealJournal frames one record: u32 length | prefix(epoch, kind) |
+// sealed payload with AAD = context || prefix.
+func (j *Journal) sealJournal(epoch uint64, kind uint32, pt []byte) []byte {
+	var prefix [journalPrefixLen]byte
+	binary.LittleEndian.PutUint64(prefix[:8], epoch)
+	binary.LittleEndian.PutUint32(prefix[8:], kind)
+	return j.d.sealPrefixed(journalContext, prefix[:], pt)
+}
+
+// recover reads and verifies the journal file against the trusted counter,
+// returning the incomplete epochs in ascending order.
+func (j *Journal) recover() ([]*JournalEpoch, error) {
+	j.last = j.ctr.Current()
+	f, err := os.Open(j.d.file(journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		if j.ctr.Current() != 0 {
+			return nil, ErrRollback
+		}
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	epochs := make(map[uint64]*JournalEpoch)
+	done := make(map[uint64]struct{})
+	var off int64
+	fail := func(err error) ([]*JournalEpoch, error) {
+		for _, e := range epochs {
+			e.Release()
+		}
+		return nil, err
+	}
+	for {
+		epoch, kind, pt, n, err := j.readJournalRecord(f, off)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn tail: a crash mid-append. Legitimate only for the record
+			// past the acknowledge point, which the counter check below
+			// enforces.
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		off += int64(n)
+		switch kind {
+		case journalKindCkpt:
+			if len(epochs) != 0 || len(done) != 0 {
+				return fail(errCorrupt("journal: checkpoint after epoch records"))
+			}
+			j.completeThrough = epoch
+		case journalKindEpoch:
+			je, err := decodeJournalEpoch(epoch, pt)
+			if err != nil {
+				return fail(err)
+			}
+			if old := epochs[epoch]; old != nil {
+				old.Release()
+			}
+			epochs[epoch] = je
+		case journalKindDone:
+			done[epoch] = struct{}{}
+		default:
+			return fail(errCorrupt("journal: unknown record kind %d", kind))
+		}
+	}
+
+	// Crash artifacts: records past the trusted counter were never
+	// acknowledged (their dispatch never happened); drop them.
+	ctr := j.ctr.Current()
+	for e, je := range epochs {
+		if e > ctr {
+			je.Release()
+			delete(epochs, e)
+		}
+	}
+	if j.completeThrough > ctr {
+		return fail(ErrRollback)
+	}
+	// Every acknowledged epoch in (completeThrough, ctr] must be present: a
+	// missing one means the host rolled the journal file back.
+	var pending []*JournalEpoch
+	for e := j.completeThrough + 1; e <= ctr; e++ {
+		je, ok := epochs[e]
+		if !ok {
+			return fail(ErrRollback)
+		}
+		if _, ok := done[e]; ok {
+			je.Release()
+			continue
+		}
+		j.open[e] = struct{}{}
+		pending = append(pending, je)
+	}
+	return pending, nil
+}
+
+// readJournalRecord reads one framed journal record: epoch, kind, opened
+// payload, and the framed byte count consumed.
+func (j *Journal) readJournalRecord(r io.Reader, off int64) (epoch uint64, kind uint32, pt []byte, n int, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, 0, err // io.EOF or io.ErrUnexpectedEOF
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(hdr[:]))
+	if bodyLen > maxRecord || bodyLen < journalPrefixLen {
+		return 0, 0, nil, 0, errCorrupt("journal: record of %d bytes out of range", bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	j.d.rec.Record(trace.KindFileRead, int(off), 4+bodyLen)
+	prefix := body[:journalPrefixLen]
+	pt, err = j.d.sealer.Open(body[journalPrefixLen:], aad(journalContext, prefix))
+	if err != nil {
+		return 0, 0, nil, 0, errCorrupt("journal: record authentication failed")
+	}
+	epoch = binary.LittleEndian.Uint64(prefix[:8])
+	kind = binary.LittleEndian.Uint32(prefix[8:])
+	return epoch, kind, pt, 4 + bodyLen, nil
+}
+
+// --- epoch payload codec -------------------------------------------------
+//
+// Fixed little-endian layout; every length below is a function of the
+// public shape (L, S, F, α, R_f) only:
+//
+//	u32 L | u32 S | u32 F | u32 blockSize | u8 aclOK
+//	S × (u64 lbID, u64 seq)
+//	per plane: u8 ok | u32 perSub | u32 batchLen + wirecode frame
+//	           | u32 nDrop + nDrop×u64
+//	  per feed: u8 ok | u32 reqLen + wirecode frame | u32 n + n×u64 ids
+//	            | u32 nDrop + nDrop×u64 | u8 hasDenied + [n]u8
+
+func encodeJournalEpoch(e *JournalEpoch) []byte {
+	var b []byte
+	u32 := func(v int) { b = binary.LittleEndian.AppendUint32(b, uint32(v)) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u8 := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	keys := func(ks []uint64) {
+		u32(len(ks))
+		for _, k := range ks {
+			u64(k)
+		}
+	}
+	L := len(e.Planes)
+	S := len(e.Tags)
+	F := 0
+	if L > 0 {
+		F = len(e.Planes[0].Feeds)
+	}
+	u32(L)
+	u32(S)
+	u32(F)
+	u32(e.BlockSize)
+	u8(e.ACLOK)
+	for _, t := range e.Tags {
+		u64(t.LBID)
+		u64(t.Seq)
+	}
+	for i := range e.Planes {
+		p := &e.Planes[i]
+		u8(p.OK)
+		u32(p.PerSub)
+		if p.OK && p.Batch != nil {
+			u32(wirecode.FrameLen(p.Batch.Len(), e.BlockSize))
+			b = wirecode.AppendRequests(b, p.Batch)
+		} else {
+			u32(0)
+		}
+		keys(p.Dropped)
+		for f := range p.Feeds {
+			fd := &p.Feeds[f]
+			u8(fd.OK)
+			u32(wirecode.FrameLen(fd.Reqs.Len(), e.BlockSize))
+			b = wirecode.AppendRequests(b, fd.Reqs)
+			keys(fd.IDs)
+			keys(fd.Dropped)
+			if fd.Denied != nil {
+				b = append(b, 1)
+				b = append(b, fd.Denied...)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return b
+}
+
+// journalCursor decodes the fixed layout defensively: the payload is
+// AEAD-authenticated, but a decode must still fail closed, never panic.
+type journalCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *journalCursor) take(n int) []byte {
+	if c.err != nil || n < 0 || n > len(c.b) {
+		if c.err == nil {
+			c.err = errCorrupt("journal: payload truncated")
+		}
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *journalCursor) u32() int {
+	raw := c.take(4)
+	if raw == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(raw))
+}
+
+func (c *journalCursor) u64() uint64 {
+	raw := c.take(8)
+	if raw == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(raw)
+}
+
+func (c *journalCursor) bool() bool {
+	raw := c.take(1)
+	return raw != nil && raw[0] == 1
+}
+
+func (c *journalCursor) keys() []uint64 {
+	n := c.u32()
+	if c.err != nil || n > len(c.b)/8 {
+		if c.err == nil {
+			c.err = errCorrupt("journal: key list truncated")
+		}
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ks := make([]uint64, n)
+	for i := range ks {
+		ks[i] = c.u64()
+	}
+	return ks
+}
+
+// maxJournalDim bounds the decoded shape fields so a corrupted payload
+// cannot force huge allocations before the cross-checks below run.
+const maxJournalDim = 1 << 20
+
+func decodeJournalEpoch(epoch uint64, pt []byte) (*JournalEpoch, error) {
+	c := &journalCursor{b: pt}
+	L := c.u32()
+	S := c.u32()
+	F := c.u32()
+	blockSize := c.u32()
+	aclOK := c.bool()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if L < 0 || L > maxJournalDim || S < 0 || S > maxJournalDim || F < 0 || F > maxJournalDim || blockSize <= 0 {
+		return nil, errCorrupt("journal: epoch %d shape (%d,%d,%d,%d) out of range", epoch, L, S, F, blockSize)
+	}
+	e := &JournalEpoch{
+		Epoch:     epoch,
+		BlockSize: blockSize,
+		ACLOK:     aclOK,
+		Tags:      make([]JournalTag, S),
+		Planes:    make([]JournalPlane, L),
+	}
+	release := func() {
+		e.Release()
+	}
+	for s := range e.Tags {
+		e.Tags[s].LBID = c.u64()
+		e.Tags[s].Seq = c.u64()
+	}
+	for i := range e.Planes {
+		p := &e.Planes[i]
+		p.OK = c.bool()
+		p.PerSub = c.u32()
+		if bl := c.u32(); bl > 0 {
+			frame := c.take(bl)
+			if c.err != nil {
+				release()
+				return nil, c.err
+			}
+			batch, err := wirecode.DecodeRequests(frame, nil)
+			if err != nil {
+				release()
+				return nil, errCorrupt("journal: epoch %d plane %d batch: %v", epoch, i, err)
+			}
+			p.Batch = batch
+		}
+		p.Dropped = c.keys()
+		p.Feeds = make([]JournalFeed, F)
+		for f := range p.Feeds {
+			fd := &p.Feeds[f]
+			fd.OK = c.bool()
+			rl := c.u32()
+			frame := c.take(rl)
+			if c.err != nil {
+				release()
+				return nil, c.err
+			}
+			reqs, err := wirecode.DecodeRequests(frame, nil)
+			if err != nil {
+				release()
+				return nil, errCorrupt("journal: epoch %d plane %d feed %d snapshot: %v", epoch, i, f, err)
+			}
+			fd.Reqs = reqs
+			fd.IDs = c.keys()
+			fd.Dropped = c.keys()
+			if c.bool() {
+				fd.Denied = append([]uint8(nil), c.take(reqs.Len())...)
+			}
+			if c.err != nil {
+				release()
+				return nil, c.err
+			}
+			if len(fd.IDs) != reqs.Len() {
+				release()
+				return nil, errCorrupt("journal: epoch %d feed %d has %d ids for %d requests", epoch, f, len(fd.IDs), reqs.Len())
+			}
+		}
+	}
+	if c.err != nil {
+		release()
+		return nil, c.err
+	}
+	return e, nil
+}

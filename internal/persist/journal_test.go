@@ -1,0 +1,384 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"snoopy/internal/enclave"
+	"snoopy/internal/store"
+)
+
+// testEpochRec builds a shape-realistic epoch record: L planes, S
+// partitions, F feeds, α rows per partition, R requests per feed.
+func testEpochRec(epoch uint64, L, S, F, alpha, R, blockSize int) *JournalEpoch {
+	e := &JournalEpoch{
+		Epoch:     epoch,
+		BlockSize: blockSize,
+		ACLOK:     true,
+		Tags:      make([]JournalTag, S),
+		Planes:    make([]JournalPlane, L),
+	}
+	for s := range e.Tags {
+		e.Tags[s] = JournalTag{LBID: 0x1000 + uint64(s), Seq: epoch * 7}
+	}
+	for i := range e.Planes {
+		p := &e.Planes[i]
+		p.OK = true
+		p.PerSub = alpha
+		p.Batch = store.NewRequests(alpha*S, blockSize)
+		for j := 0; j < p.Batch.Len(); j++ {
+			p.Batch.SetRow(j, 1, epoch*1000+uint64(j), uint32(j/alpha), uint64(j), uint64(j), nil)
+		}
+		p.Dropped = []uint64{epoch + 1}
+		p.Feeds = make([]JournalFeed, F)
+		for f := range p.Feeds {
+			fd := &p.Feeds[f]
+			fd.OK = true
+			fd.Reqs = store.NewRequests(R, blockSize)
+			fd.IDs = make([]uint64, R)
+			for j := 0; j < R; j++ {
+				fd.Reqs.SetRow(j, 2, epoch*500+uint64(j), 0, uint64(j), uint64(j), []byte("v"))
+				fd.IDs[j] = epoch<<20 | uint64(f)<<10 | uint64(j)
+			}
+			fd.Denied = make([]uint8, R)
+			if R > 1 {
+				fd.Denied[1] = 1
+			}
+		}
+	}
+	return e
+}
+
+func sameEpochRec(t *testing.T, got, want *JournalEpoch) {
+	t.Helper()
+	if got.Epoch != want.Epoch || got.BlockSize != want.BlockSize || got.ACLOK != want.ACLOK {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.Tags) != len(want.Tags) {
+		t.Fatalf("tags: got %d want %d", len(got.Tags), len(want.Tags))
+	}
+	for s := range got.Tags {
+		if got.Tags[s] != want.Tags[s] {
+			t.Fatalf("tag %d: got %+v want %+v", s, got.Tags[s], want.Tags[s])
+		}
+	}
+	if len(got.Planes) != len(want.Planes) {
+		t.Fatalf("planes: got %d want %d", len(got.Planes), len(want.Planes))
+	}
+	for i := range got.Planes {
+		gp, wp := &got.Planes[i], &want.Planes[i]
+		if gp.OK != wp.OK || gp.PerSub != wp.PerSub {
+			t.Fatalf("plane %d header mismatch", i)
+		}
+		if gp.Batch.Len() != wp.Batch.Len() {
+			t.Fatalf("plane %d batch len: got %d want %d", i, gp.Batch.Len(), wp.Batch.Len())
+		}
+		for j := 0; j < gp.Batch.Len(); j++ {
+			if gp.Batch.Key[j] != wp.Batch.Key[j] || gp.Batch.Op[j] != wp.Batch.Op[j] {
+				t.Fatalf("plane %d batch row %d mismatch", i, j)
+			}
+		}
+		for f := range gp.Feeds {
+			gf, wf := &gp.Feeds[f], &wp.Feeds[f]
+			if gf.OK != wf.OK || gf.Reqs.Len() != wf.Reqs.Len() || len(gf.IDs) != len(wf.IDs) {
+				t.Fatalf("plane %d feed %d shape mismatch", i, f)
+			}
+			for j := range gf.IDs {
+				if gf.IDs[j] != wf.IDs[j] || gf.Reqs.Key[j] != wf.Reqs.Key[j] {
+					t.Fatalf("plane %d feed %d row %d mismatch", i, f, j)
+				}
+			}
+			if (gf.Denied == nil) != (wf.Denied == nil) {
+				t.Fatalf("plane %d feed %d denied mask presence mismatch", i, f)
+			}
+			for j := range gf.Denied {
+				if gf.Denied[j] != wf.Denied[j] {
+					t.Fatalf("plane %d feed %d denied %d mismatch", i, f, j)
+				}
+			}
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, pending, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 || j.LastEpoch() != 0 {
+		t.Fatalf("fresh journal: pending=%d last=%d", len(pending), j.LastEpoch())
+	}
+	e1 := testEpochRec(1, 2, 3, 2, 4, 5, testBlock)
+	e2 := testEpochRec(2, 2, 3, 2, 4, 5, testBlock)
+	if err := j.Begin(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, pending, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastEpoch() != 2 {
+		t.Fatalf("LastEpoch = %d, want 2", j2.LastEpoch())
+	}
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d epochs, want 1 (epoch 2)", len(pending))
+	}
+	sameEpochRec(t, pending[0], e2)
+	pending[0].Release()
+}
+
+func TestJournalOutOfOrderBegin(t *testing.T) {
+	j, _, err := OpenJournal(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Begin(testEpochRec(5, 1, 1, 1, 2, 2, testBlock)); err == nil {
+		t.Fatal("Begin(5) on a fresh journal should fail (want epoch 1)")
+	}
+}
+
+func TestJournalRollbackDetection(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(testEpochRec(1, 1, 2, 1, 2, 3, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	t.Run("deleted file", func(t *testing.T) {
+		// Host deletes the journal but the trusted counter says epoch 1 was
+		// acknowledged.
+		tmp := filepath.Join(dir, journalFile+".save")
+		if err := os.Rename(filepath.Join(dir, journalFile), tmp); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := OpenJournal(dir, nil)
+		if !errors.Is(err, ErrRollback) {
+			t.Fatalf("deleted journal: err = %v, want ErrRollback", err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, journalFile)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("truncated to empty", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalFile), nil, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = OpenJournal(dir, nil)
+		if !errors.Is(err, ErrRollback) {
+			t.Fatalf("truncated journal: err = %v, want ErrRollback", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalFile), raw, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("intact again", func(t *testing.T) {
+		j, pending, err := OpenJournal(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		if len(pending) != 1 || pending[0].Epoch != 1 {
+			t.Fatalf("pending = %v, want epoch 1", pending)
+		}
+		pending[0].Release()
+	})
+}
+
+func TestJournalTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(testEpochRec(1, 1, 1, 1, 2, 2, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one ciphertext bit (past the length prefix and clear prefix).
+	raw[4+journalPrefixLen+8] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, journalFile), raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenJournal(dir, nil)
+	if !errors.Is(err, enclave.ErrIntegrity) {
+		t.Fatalf("tampered journal: err = %v, want ErrIntegrity class", err)
+	}
+}
+
+func TestJournalTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(testEpochRec(1, 1, 1, 1, 2, 2, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append of an unacknowledged epoch-2 record: a
+	// torn record past the counter. Recovery must ignore it (epoch 2 was
+	// never dispatched) and not treat it as tampering.
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x01, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, pending, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatalf("torn tail: %v", err)
+	}
+	defer j2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("pending = %d, want 0", len(pending))
+	}
+	if j2.LastEpoch() != 1 {
+		t.Fatalf("LastEpoch = %d, want 1", j2.LastEpoch())
+	}
+	// The journal must still be appendable after the torn tail: epoch 2
+	// re-runs as a fresh epoch.
+	if err := j2.Begin(testEpochRec(2, 1, 1, 1, 2, 2, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalCrashArtifactPastCounterDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(testEpochRec(1, 1, 1, 1, 2, 2, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	// Craft a fully-written epoch-2 record but roll the counter back to 1,
+	// simulating a crash after the append fsync but before the counter
+	// bump: the record authenticates yet was never acknowledged.
+	rec2 := j.sealJournal(2, journalKindEpoch, encodeJournalEpoch(testEpochRec(2, 1, 1, 1, 2, 2, testBlock)))
+	j.mu.Lock()
+	err = j.append(rec2)
+	j.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, pending, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastEpoch() != 1 {
+		t.Fatalf("LastEpoch = %d, want 1", j2.LastEpoch())
+	}
+	if len(pending) != 1 || pending[0].Epoch != 1 {
+		t.Fatalf("pending = %v, want exactly epoch 1", pending)
+	}
+	pending[0].Release()
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64
+	compacted := false
+	for e := uint64(1); e <= journalCompactEvery+4; e++ {
+		if err := j.Begin(testEpochRec(e, 1, 2, 1, 3, 4, testBlock)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Complete(e); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(filepath.Join(dir, journalFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() < prev {
+			compacted = true
+		}
+		prev = st.Size()
+	}
+	if !compacted {
+		t.Fatalf("journal never compacted over %d begin/complete cycles (final size %d)",
+			journalCompactEvery+4, prev)
+	}
+	last := j.LastEpoch()
+	j.Close()
+
+	j2, pending, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("pending = %d, want 0 after compaction", len(pending))
+	}
+	if j2.LastEpoch() != last {
+		t.Fatalf("LastEpoch = %d, want %d across compaction", j2.LastEpoch(), last)
+	}
+	if err := j2.Begin(testEpochRec(last+1, 1, 2, 1, 3, 4, testBlock)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRecordShapePublic(t *testing.T) {
+	// Two epochs with identical public shape but different keys, values,
+	// and reply IDs must produce byte-equal record lengths.
+	mk := func(seed uint64) int {
+		e := testEpochRec(1, 2, 3, 2, 4, 5, testBlock)
+		for i := range e.Planes {
+			p := &e.Planes[i]
+			for jr := 0; jr < p.Batch.Len(); jr++ {
+				p.Batch.Key[jr] = seed * uint64(jr+1)
+			}
+			for f := range p.Feeds {
+				for jr := range p.Feeds[f].IDs {
+					p.Feeds[f].IDs[jr] = seed<<32 | uint64(jr)
+					p.Feeds[f].Reqs.Key[jr] = seed + uint64(jr)
+				}
+			}
+		}
+		return len(encodeJournalEpoch(e))
+	}
+	if a, b := mk(3), mk(0xdeadbeef); a != b {
+		t.Fatalf("record length depends on secrets: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"snoopy/internal/crypt"
+	"snoopy/internal/enclave"
+	"snoopy/internal/loadbalancer"
+	"snoopy/internal/store"
+	"snoopy/internal/wirecode"
+)
+
+// tcpPair returns a connected loopback TCP pair. TCP (unlike net.Pipe)
+// buffers writes, so a fuzz exchange cannot deadlock on synchronous
+// rendezvous while both sides are mid-write.
+func tcpPair(tb testing.TB, l net.Listener) (client, server net.Conn) {
+	tb.Helper()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		client.Close()
+		tb.Fatal(a.err)
+	}
+	return client, a.c
+}
+
+// loopbackSecure builds a pre-keyed secureConn pair over c/s, skipping the
+// attested handshake: the fuzz target is the frame decoder behind it.
+func loopbackSecure(tb testing.TB, c, s net.Conn) (*secureConn, *secureConn) {
+	tb.Helper()
+	k1, k2 := crypt.MustNewKey(), crypt.MustNewKey()
+	mk := func(key crypt.Key, dir uint32) *crypt.Sealer {
+		sl, err := crypt.NewSealer(key, dir)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return sl
+	}
+	cc := &secureConn{conn: c, br: bufio.NewReader(c), seal: mk(k1, 1), open: mk(k2, 2)}
+	sc := &secureConn{conn: s, br: bufio.NewReader(s), seal: mk(k2, 2), open: mk(k1, 1)}
+	return cc, sc
+}
+
+// FuzzServeLeafRunDecoder throws malformed run requests at the server side
+// of the leaf-run protocol: wrong parameter counts, oversized run lengths,
+// wrong frame tags, and arbitrary bytes where a wirecode batch frame
+// should be. The server must answer "err" (or drop the connection) — never
+// panic, and never reply "ok" to a malformed request.
+func FuzzServeLeafRunDecoder(f *testing.F) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { l.Close() })
+	cfg := loadbalancer.Config{BlockSize: testBlock, NumSubORAMs: 2, Lambda: 32}
+	key := crypt.MustNewKey()
+
+	// Seeds: wrong IDs count, huge runLen, truncated frame, junk payload,
+	// wrong tag byte, and one well-formed-looking header with a bad body.
+	good := store.NewRequests(2, testBlock)
+	good.SetRow(0, store.OpRead, 1, 0, 0, 0, nil)
+	goodFrame := make([]byte, 0, 256)
+	goodFrame = appendReqsPlain(goodFrame, tagBatch, 7, 1, good)
+	f.Add(uint8(4), uint64(8), goodFrame)
+	f.Add(uint8(2), uint64(8), goodFrame)
+	f.Add(uint8(4), uint64(maxRunRows+1), goodFrame)
+	f.Add(uint8(4), uint64(8), goodFrame[:len(goodFrame)/2])
+	f.Add(uint8(4), uint64(8), []byte{tagControl, 0xff, 0x00})
+	f.Add(uint8(4), uint64(8), []byte{0x77, 0x01, 0x02, 0x03})
+	f.Add(uint8(0), uint64(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, nIDs uint8, runLen uint64, second []byte) {
+		if len(second) > 1<<14 {
+			second = second[:1<<14]
+		}
+		c, s := tcpPair(t, l)
+		defer c.Close()
+		defer s.Close()
+		cc, sc := loopbackSecure(t, c, s)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer s.Close() // a dropped conn must surface to the client immediately
+			serveLeafConn(sc, loadbalancer.NewLeaf(cfg, key, 1), ServeOptions{}.withDefaults())
+		}()
+
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		ids := make([]uint64, int(nIDs)%9)
+		for i := range ids {
+			ids[i] = runLen
+		}
+		if len(ids) > 3 {
+			ids[1] = 4 // α stays sane; runLen (ids[3]) carries the fuzz value
+			ids[3] = runLen
+		}
+		malformed := len(ids) != 4 || runLen > maxRunRows
+		sendErr := cc.send(&message{Kind: "run", IDs: ids})
+		if sendErr == nil && len(ids) == 4 {
+			sendErr = cc.writeSealed(second)
+		}
+		if sendErr == nil {
+			reply, err := cc.recv()
+			if err == nil && malformed && reply.Kind == "ok" {
+				t.Fatalf("server accepted malformed run (ids=%d runLen=%d)", len(ids), runLen)
+			}
+			if err == nil && reply.Kind == "ok" {
+				// A well-formed exchange must then produce the run frame.
+				if _, err := cc.recv(); err != nil {
+					t.Logf("run frame after ok: %v", err)
+				}
+			}
+		}
+		c.Close()
+		s.Close()
+		<-done
+	})
+}
+
+// appendReqsPlain mirrors secureConn.sendReqs' plaintext layout so seeds
+// can construct (and corrupt) the exact bytes the decoder expects.
+func appendReqsPlain(dst []byte, tag byte, lbID, seq uint64, r *store.Requests) []byte {
+	dst = append(dst, tag)
+	dst = binary.LittleEndian.AppendUint64(dst, lbID)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	return wirecode.AppendRequests(dst, r)
+}
+
+// FuzzDialLeafRunReply plays a malicious leaf server against the client
+// side of the protocol: RemoteLeaf.BuildRun must reject replies with wrong
+// delivery tags, wrong shapes, or garbage frames — error, never panic,
+// never silently accept a run of the wrong shape.
+func FuzzDialLeafRunReply(f *testing.F) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-leaf")
+
+	f.Add(uint64(0), uint64(0), 4, testBlock, false)
+	f.Add(uint64(1), uint64(99), 4, testBlock, false)
+	f.Add(uint64(0), uint64(0), 3, testBlock, false)
+	f.Add(uint64(0), uint64(0), 4, testBlock-1, false)
+	f.Add(uint64(0), uint64(0), 4, testBlock, true)
+
+	f.Fuzz(func(t *testing.T, lbDelta, seqDelta uint64, replyRows, replyBlock int, garbage bool) {
+		if replyRows < 0 || replyRows > 1024 || replyBlock < 1 || replyBlock > 512 {
+			t.Skip()
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+
+		srvDone := make(chan struct{})
+		go func() {
+			defer close(srvDone)
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			sc, err := serverHandshake(conn, platform, m)
+			if err != nil {
+				return
+			}
+			req, err := sc.recv() // "run" control frame
+			if err != nil || req.Kind != "run" {
+				return
+			}
+			b, err := sc.recv() // batch frame carrying the delivery tag
+			if err != nil {
+				return
+			}
+			if err := sc.send(&message{Kind: "ok"}); err != nil {
+				return
+			}
+			if garbage {
+				sc.writeSealed([]byte{0xee, 0xbe, 0xef})
+				return
+			}
+			resp := store.NewRequests(replyRows, replyBlock)
+			sc.sendReqs(tagResp, b.lbID+lbDelta, b.seq+seqDelta, resp)
+		}()
+
+		rl, err := DialLeafOptions(l.Addr().String(), platform, m,
+			Options{RPCTimeout: 5 * time.Second}.NoRetries())
+		if err != nil {
+			t.Skip() // listener race; nothing to check
+		}
+		defer rl.Close()
+
+		reqs := store.NewRequests(2, testBlock)
+		reqs.SetRow(0, store.OpRead, 1, 0, 0, 0, nil)
+		dst := store.NewRequests(4, testBlock)
+		_, err = rl.BuildRun(1, reqs, 4, 0, dst)
+
+		tampered := garbage || lbDelta != 0 || seqDelta != 0 || replyRows != dst.Len() || replyBlock != testBlock
+		if tampered && err == nil {
+			t.Fatalf("BuildRun accepted tampered reply (lbΔ=%d seqΔ=%d shape %d×%d garbage=%v)",
+				lbDelta, seqDelta, replyRows, replyBlock, garbage)
+		}
+		<-srvDone
+	})
+}

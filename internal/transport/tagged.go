@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"snoopy/internal/arena"
+	"snoopy/internal/store"
+)
+
+// DeliveryTag returns this handle's delivery-stream identity and the last
+// consumed sequence number. The root journals the pair before each epoch's
+// dispatch so a standby can re-issue the epoch under the same tags and have
+// the partition's ReplayCache deduplicate an already-applied batch.
+func (r *RemoteSubORAM) DeliveryTag() (lbID, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lbID, r.seq
+}
+
+// AdoptDeliveryTag overrides the handle's delivery-stream identity and
+// sequence number. A standby root adopts the journaled tags of the crashed
+// root before replaying an epoch: the next BatchAccess/BatchAccessN then
+// travels as (lbID, seq+1), exactly the delivery the dead root issued (or
+// would have issued), and the partition answers from its replay cache if it
+// already applied it.
+func (r *RemoteSubORAM) AdoptDeliveryTag(lbID, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lbID = lbID
+	r.seq = seq
+}
+
+func randomLBID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("transport: no entropy for lbID: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// LocalTagged wraps an in-process Partition with the same tagged
+// at-most-once delivery semantics a remote partition server provides: every
+// batch travels with an (lbID, seq) tag resolved against a ReplayCache, so
+// two root incarnations driving the same partition (the crashed root's
+// journaled dispatch and the standby's replay) cannot double-apply an
+// epoch. The cache is shared across incarnations — it models the partition
+// server's state, which survives the root's crash.
+type LocalTagged struct {
+	sub Partition
+	rc  *ReplayCache
+
+	mu   sync.Mutex
+	lbID uint64
+	seq  uint64
+}
+
+// NewLocalTagged wraps sub with tagged delivery through rc. Handles that
+// should deduplicate against each other must share rc.
+func NewLocalTagged(sub Partition, rc *ReplayCache) *LocalTagged {
+	return &LocalTagged{sub: sub, rc: rc, lbID: randomLBID()}
+}
+
+// DeliveryTag implements the journaling hook (see RemoteSubORAM.DeliveryTag).
+func (l *LocalTagged) DeliveryTag() (lbID, seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lbID, l.seq
+}
+
+// AdoptDeliveryTag implements the standby-replay hook (see
+// RemoteSubORAM.AdoptDeliveryTag).
+func (l *LocalTagged) AdoptDeliveryTag(lbID, seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lbID = lbID
+	l.seq = seq
+}
+
+// Init implements core.SubORAMClient; it resets the partition and clears
+// the replay cache, exactly as the remote server does.
+func (l *LocalTagged) Init(ids []uint64, data []byte) error {
+	return l.rc.init(l.sub, ids, data)
+}
+
+// BatchAccess implements core.SubORAMClient with tagged delivery: a replay
+// of an already-applied sequence returns the recorded response without
+// touching the partition.
+func (l *LocalTagged) BatchAccess(reqs *store.Requests) (*store.Requests, error) {
+	l.mu.Lock()
+	l.seq++
+	m := message{lbID: l.lbID, seq: l.seq, reqs: reqs}
+	l.mu.Unlock()
+	out, replayed, err := l.rc.apply(l.sub, &m)
+	if err != nil {
+		return nil, err
+	}
+	if replayed {
+		// The cache's stored response is its private clone; hand the caller
+		// an arena-backed copy so the usual release path stays valid.
+		out = arenaCopy(out)
+	}
+	return out, nil
+}
+
+// BatchAccessN implements core.BatchedSubORAMClient (grouped delivery,
+// all-or-nothing replay).
+func (l *LocalTagged) BatchAccessN(reqs []*store.Requests) ([]*store.Requests, error) {
+	l.mu.Lock()
+	l.seq++
+	m := message{lbID: l.lbID, seq: l.seq, reqsN: reqs}
+	l.mu.Unlock()
+	outs, replayed, err := l.rc.applyN(l.sub, &m)
+	if err != nil {
+		return nil, err
+	}
+	if replayed {
+		copied := make([]*store.Requests, len(outs))
+		for i, out := range outs {
+			copied[i] = arenaCopy(out)
+		}
+		outs = copied
+	}
+	return outs, nil
+}
+
+// Ping implements the health-probe hook; an in-process partition is
+// reachable by construction.
+func (l *LocalTagged) Ping(time.Duration) error { return nil }
+
+// Close implements core's optional closer hook.
+func (l *LocalTagged) Close() error { return nil }
+
+func arenaCopy(src *store.Requests) *store.Requests {
+	dst := arena.Default.GetRequests(src.Len(), src.BlockSize)
+	dst.CopyRowsPlain(0, src)
+	return dst
+}
+
+// ReplyDedup is the client-side half of exactly-once: a bounded window of
+// recently delivered reply IDs. A client that retried a request against a
+// promoted standby may receive the answer twice (once from each root
+// incarnation's reply path); Deliver admits only the first. The window is
+// bounded (FIFO eviction) so a long-lived client cannot grow it without
+// limit — it need only cover the retry horizon, not the session.
+type ReplyDedup struct {
+	mu   sync.Mutex
+	seen map[uint64]struct{}
+	ring []uint64
+	next int
+}
+
+// NewReplyDedup returns a window remembering the last n delivered IDs
+// (n defaults to 4096 when <= 0).
+func NewReplyDedup(n int) *ReplyDedup {
+	if n <= 0 {
+		n = 4096
+	}
+	return &ReplyDedup{seen: make(map[uint64]struct{}, n), ring: make([]uint64, n)}
+}
+
+// Deliver reports whether a reply with this ID should be delivered to the
+// application: true exactly once per ID within the window. ID 0 is
+// reserved for untracked requests and always delivers.
+func (d *ReplyDedup) Deliver(id uint64) bool {
+	if id == 0 {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.seen[id]; dup {
+		return false
+	}
+	if old := d.ring[d.next]; old != 0 {
+		delete(d.seen, old)
+	}
+	d.ring[d.next] = id
+	d.next = (d.next + 1) % len(d.ring)
+	d.seen[id] = struct{}{}
+	return true
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"snoopy/internal/enclave"
+	"snoopy/internal/store"
+	"snoopy/internal/suboram"
+)
+
+func taggedPair(t *testing.T) (*LocalTagged, *LocalTagged, *suboram.SubORAM) {
+	t.Helper()
+	sub := suboram.New(suboram.Config{BlockSize: testBlock})
+	if err := sub.Init([]uint64{1, 2, 3}, make([]byte, 3*testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReplayCache()
+	return NewLocalTagged(sub, rc), NewLocalTagged(sub, rc), sub
+}
+
+func oneWrite(key uint64, val string) *store.Requests {
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpWrite, key, 0, 0, 0, []byte(val))
+	return reqs
+}
+
+func oneRead(key uint64) *store.Requests {
+	reqs := store.NewRequests(1, testBlock)
+	reqs.SetRow(0, store.OpRead, key, 0, 0, 0, nil)
+	return reqs
+}
+
+// TestLocalTaggedReplayAcrossIncarnations is the standby-root scenario in
+// miniature: incarnation 1 applies a tagged write and crashes; incarnation
+// 2 adopts the journaled tag and re-issues the delivery. The partition
+// must not apply it twice — the replay cache answers with the recorded
+// response, even though incarnation 2's payload differs.
+func TestLocalTaggedReplayAcrossIncarnations(t *testing.T) {
+	h1, h2, _ := taggedPair(t)
+
+	lbID, seq0 := h1.DeliveryTag()
+	if _, err := h1.BatchAccess(oneWrite(2, "first")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2 replays the journaled delivery (lbID, seq0) — its next
+	// BatchAccess travels as seq0+1, the tag incarnation 1 already used.
+	h2.AdoptDeliveryTag(lbID, seq0)
+	out, err := h2.BatchAccess(oneWrite(2, "SECOND"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("replayed response has %d rows", out.Len())
+	}
+
+	// The partition kept the first application.
+	got, err := h2.BatchAccess(oneRead(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got.Block(0), []byte("first")) {
+		t.Fatalf("partition re-applied a replayed delivery: %q", got.Block(0))
+	}
+}
+
+func TestLocalTaggedGroupedReplay(t *testing.T) {
+	h1, h2, _ := taggedPair(t)
+
+	lbID, seq0 := h1.DeliveryTag()
+	outs, err := h1.BatchAccessN([]*store.Requests{oneWrite(1, "alpha"), oneWrite(3, "gamma")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d grouped responses", len(outs))
+	}
+
+	h2.AdoptDeliveryTag(lbID, seq0)
+	replayed, err := h2.BatchAccessN([]*store.Requests{oneWrite(1, "EVIL"), oneWrite(3, "EVIL")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replay returned %d responses", len(replayed))
+	}
+
+	got, err := h2.BatchAccess(oneRead(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got.Block(0), []byte("alpha")) {
+		t.Fatalf("grouped replay re-applied: %q", got.Block(0))
+	}
+}
+
+// TestLocalTaggedReplayTwice checks the replay path hands out independent
+// arena-backed copies: releasing one replayed response must not corrupt a
+// later replay of the same entry.
+func TestLocalTaggedReplayTwice(t *testing.T) {
+	h1, h2, _ := taggedPair(t)
+	lbID, seq0 := h1.DeliveryTag()
+	if _, err := h1.BatchAccess(oneWrite(2, "stable")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		h2.AdoptDeliveryTag(lbID, seq0)
+		out, err := h2.BatchAccess(oneWrite(2, "x"))
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		// Scribble over the returned copy; the cache's private clone must
+		// be unaffected.
+		for j := range out.Data {
+			out.Data[j] = 0xee
+		}
+	}
+}
+
+func TestLocalTaggedStaleDeliveryRejected(t *testing.T) {
+	h1, h2, _ := taggedPair(t)
+	lbID, _ := h1.DeliveryTag()
+	if _, err := h1.BatchAccess(oneWrite(2, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.BatchAccess(oneWrite(2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// A delivery two sequences behind can no longer be answered
+	// exactly-once; it must be rejected, not applied.
+	h2.AdoptDeliveryTag(lbID, 0)
+	if _, err := h2.BatchAccess(oneWrite(2, "stale")); err == nil {
+		t.Fatal("stale delivery accepted")
+	}
+}
+
+// TestRemoteDeliveryTagAdoption runs the same standby scenario over the
+// real attested wire: handle 2 adopts handle 1's tag and the server's
+// replay cache deduplicates.
+func TestRemoteDeliveryTagAdoption(t *testing.T) {
+	platform := enclave.NewPlatform()
+	m := enclave.Measure("snoopy-suboram")
+	addr := startServer(t, platform, m)
+
+	r1, err := Dial(addr, platform, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	if err := r1.Init([]uint64{1, 2, 3}, make([]byte, 3*testBlock)); err != nil {
+		t.Fatal(err)
+	}
+	lbID, seq0 := r1.DeliveryTag()
+	if _, err := r1.BatchAccess(oneWrite(2, "orig")); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Dial(addr, platform, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	r2.AdoptDeliveryTag(lbID, seq0)
+	if _, err := r2.BatchAccess(oneWrite(2, "DUPL")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.BatchAccess(oneRead(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got.Block(0), []byte("orig")) {
+		t.Fatalf("server re-applied replayed delivery: %q", got.Block(0))
+	}
+}
+
+func TestReplyDedup(t *testing.T) {
+	d := NewReplyDedup(4)
+	if !d.Deliver(10) {
+		t.Fatal("first delivery suppressed")
+	}
+	if d.Deliver(10) {
+		t.Fatal("duplicate delivered")
+	}
+	if !d.Deliver(0) || !d.Deliver(0) {
+		t.Fatal("untracked id 0 must always deliver")
+	}
+	for id := uint64(11); id <= 14; id++ {
+		if !d.Deliver(id) {
+			t.Fatalf("fresh id %d suppressed", id)
+		}
+	}
+	// 10 has been evicted from the 4-entry window: a delivery outside the
+	// retry horizon is the application's problem, not the window's.
+	if !d.Deliver(10) {
+		t.Fatal("evicted id treated as duplicate")
+	}
+	if d.Deliver(14) {
+		t.Fatal("in-window duplicate delivered")
+	}
+}

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Long chaos soak — deliberately outside the tier-1 time budget.
 #
-# Part 1 runs the seeded chaos harness (internal/chaos) across many seeds
+# Part 1 runs the seeded chaos harnesses (internal/chaos) across many seeds
 # with long fault phases under -race: scripted kill/stall/rollback/restart
-# schedules against replicated partitions, checking every client history
-# with the linearizability checker and requiring the cluster back to full
-# health within K epochs of the last fault. A failing seed is printed in
-# the test output; replaying it reproduces the identical fault schedule.
+# schedules against replicated partitions, plus the root-failover harness
+# that kills the root load balancer at journal crash points (stage-a /
+# journal / dispatch) and kills leaves mid-epoch, promoting a standby root
+# that replays the sealed epoch journal. Every client history goes through
+# the linearizability checker, every tracked request must be answered
+# exactly once, and the cluster must be back to full health within K epochs
+# of the last fault. A failing seed is printed in the test output;
+# replaying it reproduces the identical fault schedule.
 #
 # Part 2 exercises the real process boundary: it builds snoopy-server,
 # kills it with SIGKILL mid-deployment, restarts it on the same sealed data
@@ -15,8 +19,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== seeded chaos soak (16 seeds, -race) =="
-SNOOPY_CHAOS_SOAK=1 go test -race -timeout 120m -run TestChaosSoak -v ./internal/chaos/
+echo "== seeded chaos soaks (16 seeds each, -race) =="
+SNOOPY_CHAOS_SOAK=1 go test -race -timeout 120m -run 'TestChaosSoak|TestRootChaosSoak' -v ./internal/chaos/
 
 echo "== kill -9 + restart and crash-recovery soak =="
 go test -timeout 30m -run 'TestServerSurvivesKill9|TestCrashRecoverySoak' -v .

@@ -4,8 +4,9 @@
 # failure detection/failover, the seeded chaos harness, the pooled data
 # plane (arena recycling under the pipelined epoch loop in core, and the
 # pooled hot paths in loadbalancer/ohash), the oblivious sort/merge
-# primitives under parallel leaf sorting (obliv), and the trace leakage
-# suite with parallel workers. The full suite is
+# primitives under parallel leaf sorting (obliv), the trace leakage
+# suite with parallel workers, and the fault-tolerant root plane (epoch
+# journal, standby promotion, exactly-once replies). The full suite is
 # `go test ./...`; the long multi-seed chaos soak is scripts/chaos.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,5 +43,17 @@ go test -race -timeout 15m -count=2 \
   ./internal/core/
 go test -race -timeout 15m -count=2 \
   -run 'TestTelemetryTraceIndependentOfSecretsPipelined' \
+  ./internal/trace/
+
+# Focused re-run of the fault-tolerant root plane: journal append/replay
+# and crash-point recovery in core, root-supervisor promotion races in
+# cluster, the seeded root-kill chaos harness, and the journal/standby
+# leakage tests. Schedule-sensitive by construction (promotion races a
+# probing watchdog), so shake them with -count=2 as well.
+go test -race -timeout 15m -count=2 \
+  -run 'TestJournal|TestRootPromotion|TestTripPlanesSeparate|TestRootChaos' \
+  ./internal/core/ ./internal/cluster/ ./internal/chaos/
+go test -race -timeout 15m -count=2 \
+  -run 'TestJournalTrace' \
   ./internal/trace/
 echo "check.sh: OK"

@@ -107,6 +107,26 @@ type Config struct {
 	// blocks; default 512 blocks' worth). It is a public tuning parameter
 	// trading scan-buffer memory against per-segment I/O overhead.
 	SegmentBytes int
+	// JournalDir, when non-empty, makes the load-balancer root itself
+	// fault tolerant: before any epoch's batches are dispatched to
+	// partitions, the root seals the epoch's merged batches, reply
+	// routing tables, and per-partition delivery tags into a fixed-shape
+	// journal under this directory (internal/persist). A standby root
+	// that Opens the same JournalDir replays journaled-but-incomplete
+	// epochs under the dead root's delivery tags — partition-side replay
+	// caches deduplicate re-deliveries — and parks the recovered answers
+	// for clients retrying under their original idempotency IDs (see
+	// ReadIdem/WriteIdem). The journal also pins the oblivious routing
+	// key, so every incarnation routes identically. Journal shape and
+	// write timing are functions of public parameters only. See DESIGN.md
+	// §14 for the promotion protocol and the exactly-once argument.
+	JournalDir string
+	// ReplyWindow bounds the root's reply-deduplication window: how many
+	// recently answered idempotency IDs the root keeps parked so a client
+	// retry of an already-answered request returns the original answer
+	// instead of re-executing (default 4096, used when JournalDir is
+	// set). Public configuration.
+	ReplyWindow int
 	// FailoverAfter, together with Failover, enables automatic partition
 	// repair: after a partition fails this many consecutive epochs, the
 	// store calls Failover in the background to obtain a replacement
@@ -170,6 +190,8 @@ func Open(cfg Config) (*Store, error) {
 		DataDir:          cfg.DataDir,
 		DiskResident:     cfg.DiskResident,
 		SegmentBytes:     cfg.SegmentBytes,
+		JournalDir:       cfg.JournalDir,
+		ReplyWindow:      cfg.ReplyWindow,
 		FailoverAfter:    cfg.FailoverAfter,
 		Failover:         cfg.Failover,
 		OnFailover:       cfg.OnFailover,
@@ -194,6 +216,8 @@ func OpenWithSubORAMs(cfg Config, subs []SubORAM) (*Store, error) {
 		SortWorkers:      cfg.SortWorkers,
 		Pipeline:         cfg.Pipeline,
 		PipelineDepth:    cfg.PipelineDepth,
+		JournalDir:       cfg.JournalDir,
+		ReplyWindow:      cfg.ReplyWindow,
 		FailoverAfter:    cfg.FailoverAfter,
 		Failover:         cfg.Failover,
 		OnFailover:       cfg.OnFailover,
@@ -248,6 +272,40 @@ func (s *Store) ReadAsync(key uint64) (func() ([]byte, bool, error), error) {
 // WriteAsync submits without blocking; the returned function waits.
 func (s *Store) WriteAsync(key uint64, value []byte) (func() ([]byte, bool, error), error) {
 	return s.sys.WriteAsync(key, value)
+}
+
+// ErrRootDown is returned by requests in flight when the load-balancer
+// root crashes. With Config.JournalDir set, retry the request with the
+// same idempotency ID against the promoted standby (a store Opened on the
+// same JournalDir): if the dead root had journaled the epoch, the standby
+// replays it and returns the original answer; if not, the request was
+// never applied and the retry executes it exactly once.
+var ErrRootDown = core.ErrRootDown
+
+// ReadIdem is Read with an idempotency ID for exactly-once retry across
+// root failover (requires Config.JournalDir; id must be unique per
+// logical request and non-zero — 0 means untracked, at-least-once). A
+// retry of an already-answered ID returns the original answer from the
+// root's reply window instead of re-executing.
+func (s *Store) ReadIdem(id, key uint64) (value []byte, ok bool, err error) {
+	return s.sys.ReadIdem(id, key)
+}
+
+// WriteIdem is Write with an idempotency ID (see ReadIdem): a retry of an
+// already-applied write returns the original previous-value answer
+// without applying the write a second time.
+func (s *Store) WriteIdem(id, key uint64, value []byte) (previous []byte, ok bool, err error) {
+	return s.sys.WriteIdem(id, key, value)
+}
+
+// ReadIdemAsync submits without blocking; the returned function waits.
+func (s *Store) ReadIdemAsync(id, key uint64) (func() ([]byte, bool, error), error) {
+	return s.sys.ReadIdemAsync(id, key)
+}
+
+// WriteIdemAsync submits without blocking; the returned function waits.
+func (s *Store) WriteIdemAsync(id, key uint64, value []byte) (func() ([]byte, bool, error), error) {
+	return s.sys.WriteIdemAsync(id, key, value)
 }
 
 // Flush processes one epoch immediately (useful with Epoch == 0).
