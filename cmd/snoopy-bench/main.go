@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"snoopy"
 	"snoopy/internal/figures"
@@ -108,9 +109,48 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,table8,9a,9b,10,11a,11b,12,13a,13b,14,headline,all")
 	full := flag.Bool("full", false, "use the paper's full data sizes (hours of runtime)")
 	observability := flag.String("observability", "", "instead of a figure, run an instrumented deployment and write its telemetry snapshot (counters, histograms, epoch stage spans) to this JSON file")
+	traffic := flag.String("traffic", "", "instead of a figure, run the open-loop traffic harness (scenario suite at the reference load, then a knee sweep vs the Eq. 1-2 / simnet prediction) and write the report to this JSON file")
+	trafficServers := flag.String("servers", "", "with -traffic: comma-separated snoopy-server addresses to drive a real TCP cluster (empty = in-process deployment)")
+	trafficPlatform := flag.String("platform", "", "with -traffic -servers: shared platform root key (64 hex chars, copy from snoopy-server)")
+	trafficScenarios := flag.String("scenarios", "all", "with -traffic: comma-separated suite scenario names, or all")
+	trafficSessions := flag.Int("sessions", 100_000, "with -traffic: simulated client-session population")
+	trafficRate := flag.Float64("rate", 2000, "with -traffic: reference offered load in requests/second for the scenario suite")
+	trafficDuration := flag.Duration("duration", 3*time.Second, "with -traffic: schedule length per scenario / knee probe")
+	trafficEpoch := flag.Duration("epoch", 50*time.Millisecond, "with -traffic: epoch duration")
+	trafficObjects := flag.Int("objects", 4096, "with -traffic: object count")
+	trafficBlock := flag.Int("block", 160, "with -traffic: object size in bytes (must match -servers' -block)")
+	trafficLBs := flag.Int("lbs", 2, "with -traffic: load balancers")
+	trafficSubs := flag.Int("suborams", 4, "with -traffic: subORAMs (in-process mode; TCP mode uses one per -servers address)")
+	trafficKnee := flag.Bool("knee", true, "with -traffic: calibrate, predict capacity (planner + simnet), and sweep rates for the sustained-throughput knee")
+	trafficBaseline := flag.String("baseline", "", "with -traffic: committed baseline report; fail if p99 at the reference load regresses >10%")
 	segstoreOut := flag.String("segstore", "", "instead of a figure, compare memory-resident vs disk-resident (internal/segstore) scan throughput across segment sizes and write the comparison to this JSON file")
 	lbtreeOut := flag.String("lbtree", "", "instead of a figure, benchmark the monolithic load balancer against 1/2/4/8-leaf aggregation trees and write the comparison to this JSON file")
 	flag.Parse()
+
+	if *traffic != "" {
+		err := runTraffic(trafficOptions{
+			out:       *traffic,
+			servers:   *trafficServers,
+			platform:  *trafficPlatform,
+			scenarios: *trafficScenarios,
+			sessions:  *trafficSessions,
+			rate:      *trafficRate,
+			duration:  *trafficDuration,
+			epoch:     *trafficEpoch,
+			objects:   *trafficObjects,
+			block:     *trafficBlock,
+			lbs:       *trafficLBs,
+			subs:      *trafficSubs,
+			knee:      *trafficKnee,
+			baseline:  *trafficBaseline,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traffic run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("traffic report written to %s\n", *traffic)
+		return
+	}
 
 	if *lbtreeOut != "" {
 		if err := runLBTree(*lbtreeOut); err != nil {

@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// KneeProbe is one sustained-throughput probe of a rate sweep.
+type KneeProbe struct {
+	Rate      float64 `json:"offered_rps"`
+	Achieved  float64 `json:"achieved_rps"`
+	P50ms     float64 `json:"p50_ms"`
+	P99ms     float64 `json:"p99_ms"`
+	P999ms    float64 `json:"p999_ms"`
+	Sustained bool    `json:"sustained"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+}
+
+// Knee is the outcome of a rate sweep: the largest offered rate the
+// deployment sustained, plus every probe for the report.
+type Knee struct {
+	Probes []KneeProbe `json:"probes"`
+	// Rate is the sustained-throughput knee in requests/second — the
+	// highest probed rate that met both the goodput and the p99 gates. 0
+	// if no probe was sustained.
+	Rate float64 `json:"knee_rps"`
+}
+
+// FindKnee sweeps the offered rates (ascending) and reports the
+// sustained-throughput knee: the largest rate at which the deployment
+// achieved at least goodputFrac of the offered load AND kept open-loop p99
+// within p99Bound. open builds a fresh store per probe (so queue backlog
+// from an overloaded probe cannot poison the next) and returns a cleanup.
+// The sweep stops early after the first unsustained probe — past the knee
+// every higher rate only deepens the overload.
+func FindKnee(open func() (Store, func(), error), base Config, rates []float64, p99Bound time.Duration, goodputFrac float64) (Knee, error) {
+	if goodputFrac <= 0 || goodputFrac > 1 {
+		goodputFrac = 0.9
+	}
+	var knee Knee
+	for _, r := range rates {
+		st, cleanup, err := open()
+		if err != nil {
+			return knee, fmt.Errorf("loadgen: open store for %.0f rps probe: %w", r, err)
+		}
+		cfg := base
+		cfg.Rate = r
+		rep, err := Run(st, cfg)
+		cleanup()
+		if err != nil {
+			return knee, fmt.Errorf("loadgen: probe at %.0f rps: %w", r, err)
+		}
+		goodput := float64(rep.Completed+rep.SlowCompleted) / cfg.Duration.Seconds()
+		p99 := time.Duration(rep.Latency.P99 * float64(time.Millisecond))
+		sustained := !rep.TimedOut && goodput >= goodputFrac*r && p99 <= p99Bound
+		knee.Probes = append(knee.Probes, KneeProbe{
+			Rate:      r,
+			Achieved:  goodput,
+			P50ms:     rep.Latency.P50,
+			P99ms:     rep.Latency.P99,
+			P999ms:    rep.Latency.P999,
+			Sustained: sustained,
+			TimedOut:  rep.TimedOut,
+		})
+		if sustained {
+			knee.Rate = r
+		} else {
+			break
+		}
+	}
+	return knee, nil
+}

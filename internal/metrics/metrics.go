@@ -76,14 +76,22 @@ func (l *Latencies) Percentile(p float64) time.Duration {
 		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
 		l.sorted = true
 	}
-	rank := int(math.Ceil(p / 100 * float64(n)))
+	return l.samples[nearestRank(p, n)-1]
+}
+
+// nearestRank returns rank ⌈p/100·n⌉ clamped to [1, n]. The product is
+// computed with a tiny downward guard: p/100 is not exactly representable
+// for values like 99.9, and without the guard ⌈0.999·1000⌉ evaluates to
+// 1000 instead of 999, silently shifting tail percentiles onto the max.
+func nearestRank(p float64, n int) int {
+	rank := int(math.Ceil(p/100*float64(n) - 1e-9))
 	if rank < 1 {
 		rank = 1
 	}
 	if rank > n {
 		rank = n
 	}
-	return l.samples[rank-1]
+	return rank
 }
 
 // Max returns the largest sample.
@@ -91,9 +99,12 @@ func (l *Latencies) Max() time.Duration { return l.Percentile(100) }
 
 // LatencySnapshot is a self-consistent summary of a distribution: every
 // field is computed from the same sample set, under one lock acquisition.
+// Percentiles use the nearest-rank definition, so at small n the tail
+// percentiles collapse onto the maximum (P999 == Max for n < 1000, P99 ==
+// Max for n < 100) instead of interpolating values that were never observed.
 type LatencySnapshot struct {
-	Count               int
-	Mean, P50, P99, Max time.Duration
+	Count                     int
+	Mean, P50, P99, P999, Max time.Duration
 }
 
 // Snapshot summarizes the distribution atomically. Unlike calling Count /
@@ -116,28 +127,22 @@ func (l *Latencies) Snapshot() LatencySnapshot {
 		sum += s
 	}
 	rank := func(p float64) time.Duration {
-		r := int(math.Ceil(p / 100 * float64(n)))
-		if r < 1 {
-			r = 1
-		}
-		if r > n {
-			r = n
-		}
-		return l.samples[r-1]
+		return l.samples[nearestRank(p, n)-1]
 	}
 	return LatencySnapshot{
 		Count: n,
 		Mean:  sum / time.Duration(n),
 		P50:   rank(50),
 		P99:   rank(99),
+		P999:  rank(99.9),
 		Max:   l.samples[n-1],
 	}
 }
 
 // String formats the snapshot.
 func (s LatencySnapshot) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-		s.Count, s.Mean, s.P50, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.P999, s.Max)
 }
 
 // String summarizes the distribution from one consistent snapshot.

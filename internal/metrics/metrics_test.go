@@ -73,6 +73,82 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
+// TestP999NearestRank: p999 follows the same nearest-rank definition as
+// the other percentiles — rank ⌈0.999·n⌉ — so it only separates from Max
+// once n ≥ 1000, and at exactly n = 1000 it is the second-largest sample.
+func TestP999NearestRank(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 1000; i++ {
+		l.Add(time.Duration(i) * time.Microsecond)
+	}
+	if got := l.Percentile(99.9); got != 999*time.Microsecond {
+		t.Fatalf("p999 of 1..1000µs = %v, want 999µs", got)
+	}
+	s := l.Snapshot()
+	if s.P999 != 999*time.Microsecond || s.Max != 1000*time.Microsecond {
+		t.Fatalf("snapshot p999/max = %v/%v, want 999µs/1ms", s.P999, s.Max)
+	}
+	// One more sample: rank ⌈0.999·1001⌉ = 1000.
+	l.Add(1001 * time.Microsecond)
+	if got := l.Percentile(99.9); got != 1000*time.Microsecond {
+		t.Fatalf("p999 of 1..1001µs = %v, want 1000µs", got)
+	}
+}
+
+// TestSnapshotSmallSamples: nearest-rank behavior at n < 10 — every tail
+// percentile must be an actually-observed sample, and for tiny n the tail
+// collapses onto the maximum rather than extrapolating.
+func TestSnapshotSmallSamples(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+	t.Run("single observation", func(t *testing.T) {
+		var l Latencies
+		l.Add(ms(7))
+		s := l.Snapshot()
+		want := LatencySnapshot{Count: 1, Mean: ms(7), P50: ms(7), P99: ms(7), P999: ms(7), Max: ms(7)}
+		if s != want {
+			t.Fatalf("snapshot = %+v, want %+v", s, want)
+		}
+	})
+
+	t.Run("all equal", func(t *testing.T) {
+		var l Latencies
+		for i := 0; i < 9; i++ {
+			l.Add(ms(3))
+		}
+		s := l.Snapshot()
+		if s.Count != 9 || s.Mean != ms(3) || s.P50 != ms(3) || s.P99 != ms(3) || s.P999 != ms(3) || s.Max != ms(3) {
+			t.Fatalf("all-equal snapshot = %+v", s)
+		}
+	})
+
+	t.Run("n below 10 collapses tail onto max", func(t *testing.T) {
+		var l Latencies
+		for i := 1; i <= 7; i++ {
+			l.Add(ms(i))
+		}
+		s := l.Snapshot()
+		// ⌈0.5·7⌉ = 4 ⇒ p50 is the 4th sample; every tail rank is 7.
+		if s.P50 != ms(4) {
+			t.Fatalf("p50 = %v, want 4ms", s.P50)
+		}
+		if s.P99 != ms(7) || s.P999 != ms(7) || s.Max != ms(7) {
+			t.Fatalf("tail must collapse onto max at n=7: %+v", s)
+		}
+	})
+
+	t.Run("percentiles ordered", func(t *testing.T) {
+		var l Latencies
+		for _, d := range []int{12, 1, 5, 9, 2} {
+			l.Add(ms(d))
+		}
+		s := l.Snapshot()
+		if s.P50 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+			t.Fatalf("unordered percentiles: %+v", s)
+		}
+	})
+}
+
 func TestLatenciesConcurrent(t *testing.T) {
 	var l Latencies
 	var wg sync.WaitGroup
@@ -106,7 +182,8 @@ func TestLatenciesSnapshotConsistency(t *testing.T) {
 	s := l.Snapshot()
 	want := LatencySnapshot{
 		Count: 100, Mean: 50500 * time.Microsecond,
-		P50: 50 * time.Millisecond, P99: 99 * time.Millisecond, Max: 100 * time.Millisecond,
+		P50: 50 * time.Millisecond, P99: 99 * time.Millisecond,
+		P999: 100 * time.Millisecond, Max: 100 * time.Millisecond,
 	}
 	if s != want {
 		t.Fatalf("snapshot = %+v, want %+v", s, want)

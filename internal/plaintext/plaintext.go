@@ -37,7 +37,12 @@ func New(nShards int) *Store {
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-func (s *Store) shardFor(key uint64) *shard {
+// ShardOf returns the shard ("node") index serving key. This is exactly
+// what a network adversary watching the baseline sees per request — the
+// routing decision that makes per-shard load a function of the secret key
+// distribution. The workload-independence soak uses it to show the
+// baseline diverging where the oblivious deployment does not.
+func (s *Store) ShardOf(key uint64) int {
 	var h maphash.Hash
 	h.SetSeed(s.seed)
 	var buf [8]byte
@@ -45,7 +50,11 @@ func (s *Store) shardFor(key uint64) *shard {
 		buf[i] = byte(key >> (8 * i))
 	}
 	h.Write(buf[:])
-	return s.shards[h.Sum64()%uint64(len(s.shards))]
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+func (s *Store) shardFor(key uint64) *shard {
+	return s.shards[s.ShardOf(key)]
 }
 
 // Get returns the value for key.

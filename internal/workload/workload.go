@@ -11,6 +11,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // KeyChooser picks object keys.
@@ -23,9 +24,24 @@ func Uniform(n int) KeyChooser {
 
 // Zipf chooses keys Zipf(s, 1)-distributed over [0, n) — the skewed
 // workload that deduplication defuses (paper §4.1).
+//
+// The underlying rand.Zipf generator is constructed once per *rand.Rand and
+// cached: construction computes the rejection-inversion constants and
+// allocates, and the old per-sample construction paid that setup on every
+// draw, dominating the sample cost (see BenchmarkZipfChooser). rand.NewZipf
+// consumes no random draws at construction, so the sample sequence for a
+// given rng is unchanged.
 func Zipf(n int, s float64) KeyChooser {
+	var mu sync.Mutex
+	cache := make(map[*rand.Rand]*rand.Zipf, 1)
 	return func(rng *rand.Rand) uint64 {
-		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		mu.Lock()
+		z := cache[rng]
+		if z == nil {
+			z = rand.NewZipf(rng, s, 1, uint64(n-1))
+			cache[rng] = z
+		}
+		mu.Unlock()
 		return z.Uint64()
 	}
 }
@@ -92,6 +108,59 @@ func KTLookup(users int, user uint64) []uint64 {
 type Burst struct {
 	Rate    float64
 	Seconds float64
+}
+
+// Steady returns a one-phase schedule: a constant Poisson process at rate
+// requests/second for the given duration.
+func Steady(rate, seconds float64) []Burst {
+	return []Burst{{Rate: rate, Seconds: seconds}}
+}
+
+// BurstySchedule alternates quiet and burst phases while keeping the mean
+// offered load at `mean` requests/second: each period spends fraction duty
+// at factor× the quiet rate. The open-loop harness uses it for hot-key
+// storms and flash-crowd arrival; for an oblivious deployment the epoch
+// schedule must stay a function of the (public) arrival counts only.
+func BurstySchedule(mean, factor, period, duty, seconds float64) []Burst {
+	if factor <= 1 || duty <= 0 || duty >= 1 || period <= 0 || period > seconds {
+		return Steady(mean, seconds)
+	}
+	// mean = base·(1-duty) + base·factor·duty  ⇒  base = mean / (1 + duty·(factor-1)).
+	base := mean / (1 + duty*(factor-1))
+	peak := base * factor
+	var out []Burst
+	for off := 0.0; off < seconds; off += period {
+		rest := seconds - off
+		bl := math.Min(period*duty, rest)
+		out = append(out, Burst{Rate: peak, Seconds: bl})
+		if rest > bl {
+			out = append(out, Burst{Rate: base, Seconds: math.Min(period-bl, rest-bl)})
+		}
+	}
+	return out
+}
+
+// DiurnalSchedule modulates the mean rate sinusoidally over one full period
+// of `seconds` (a compressed day), quantized into steps constant-rate
+// phases, with peak/trough ratio factor. The mean offered load stays
+// `mean` requests/second.
+func DiurnalSchedule(mean, factor, seconds float64, steps int) []Burst {
+	if steps < 2 || factor <= 1 || seconds <= 0 {
+		return Steady(mean, seconds)
+	}
+	// peak = mean·(1+a), trough = mean·(1-a), peak/trough = factor.
+	a := (factor - 1) / (factor + 1)
+	out := make([]Burst, 0, steps)
+	dt := seconds / float64(steps)
+	for i := 0; i < steps; i++ {
+		mid := (float64(i) + 0.5) / float64(steps)
+		r := mean * (1 + a*math.Sin(2*math.Pi*mid))
+		if r < 0 {
+			r = 0
+		}
+		out = append(out, Burst{Rate: r, Seconds: dt})
+	}
+	return out
 }
 
 // Arrivals expands a schedule into request timestamps (seconds from 0),

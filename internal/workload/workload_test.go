@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -86,6 +87,154 @@ func TestKTLookupShape(t *testing.T) {
 		if k >= 2*uint64(users) {
 			t.Fatalf("key %d beyond tree node space", k)
 		}
+	}
+}
+
+// TestZipfChiSquare checks the hoisted generator still samples the exact
+// Zipf(s=1.2, v=1) mass over a small support: Go's rand.Zipf draws k with
+// P(k) ∝ (1+k)^(-s) for k ∈ [0, n-1]. A chi-square statistic over n = 16
+// bins with 200k samples sits near its df = 15 expectation when the
+// distribution is right; 60 would be a p < 10⁻⁶ outlier. The seed is fixed,
+// so the statistic is deterministic.
+func TestZipfChiSquare(t *testing.T) {
+	const (
+		n       = 16
+		s       = 1.2
+		samples = 200_000
+	)
+	rng := rand.New(rand.NewSource(7))
+	z := Zipf(n, s)
+	obs := make([]float64, n)
+	for i := 0; i < samples; i++ {
+		k := z(rng)
+		if k >= n {
+			t.Fatalf("sample %d out of range [0,%d)", k, n)
+		}
+		obs[k]++
+	}
+	var norm float64
+	mass := make([]float64, n)
+	for k := 0; k < n; k++ {
+		mass[k] = math.Pow(float64(1+k), -s)
+		norm += mass[k]
+	}
+	var chi2 float64
+	for k := 0; k < n; k++ {
+		exp := mass[k] / norm * samples
+		d := obs[k] - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 60 {
+		t.Fatalf("chi-square = %.1f over %d bins: empirical distribution does not match Zipf mass", chi2, n)
+	}
+}
+
+// TestZipfDeterministicPerRNG: hoisting the rand.Zipf construction must not
+// change the sample sequence a seeded rng produces (construction consumes
+// no draws), and two choosers over equal-seeded rngs must agree.
+func TestZipfDeterministicPerRNG(t *testing.T) {
+	a := Zipf(1024, 1.1)
+	b := Zipf(1024, 1.1)
+	ra := rand.New(rand.NewSource(42))
+	rb := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if ka, kb := a(ra), b(rb); ka != kb {
+			t.Fatalf("sample %d diverged: %d vs %d", i, ka, kb)
+		}
+	}
+}
+
+// TestZipfConcurrentRNGs: one chooser shared by goroutines with their own
+// rngs (the load-generator shape) must be race-free and in-range.
+func TestZipfConcurrentRNGs(t *testing.T) {
+	z := Zipf(4096, 1.1)
+	done := make(chan bool, 4)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			ok := true
+			for i := 0; i < 5000; i++ {
+				if z(rng) >= 4096 {
+					ok = false
+				}
+			}
+			done <- ok
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		if !<-done {
+			t.Fatal("sample out of range under concurrent rngs")
+		}
+	}
+}
+
+// BenchmarkZipfChooser proves the hoisting fix: "hoisted" is the cached
+// generator, "per-sample-construction" is what Zipf used to do — build a
+// fresh rand.NewZipf for every draw.
+func BenchmarkZipfChooser(b *testing.B) {
+	const n, s = 1 << 20, 1.1
+	b.Run("hoisted", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		z := Zipf(n, s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = z(rng)
+		}
+	})
+	b.Run("per-sample-construction", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = rand.NewZipf(rng, s, 1, n-1).Uint64()
+		}
+	})
+}
+
+func totalArrivals(t *testing.T, sched []Burst, seed int64) (int, float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := Arrivals(rng, sched)
+	var end float64
+	for _, b := range sched {
+		end += b.Seconds
+	}
+	return len(ts), end
+}
+
+func TestBurstyScheduleMeanAndShape(t *testing.T) {
+	sched := BurstySchedule(1000, 8, 1, 0.2, 4)
+	n, end := totalArrivals(t, sched, 11)
+	if end < 3.99 || end > 4.01 {
+		t.Fatalf("schedule covers %.2fs, want 4s", end)
+	}
+	// Mean offered load must stay ~1000/s: 4000 expected arrivals.
+	if n < 3500 || n > 4500 {
+		t.Fatalf("bursty arrivals = %d, want ≈4000", n)
+	}
+	// Peak phases must be ~8× the quiet phases.
+	if len(sched) < 2 || sched[0].Rate <= sched[1].Rate*7 {
+		t.Fatalf("burst structure missing: %+v", sched[:2])
+	}
+}
+
+func TestDiurnalScheduleMeanAndShape(t *testing.T) {
+	sched := DiurnalSchedule(1000, 4, 4, 8)
+	n, end := totalArrivals(t, sched, 12)
+	if end < 3.99 || end > 4.01 {
+		t.Fatalf("schedule covers %.2fs, want 4s", end)
+	}
+	if n < 3500 || n > 4500 {
+		t.Fatalf("diurnal arrivals = %d, want ≈4000", n)
+	}
+	min, max := math.Inf(1), 0.0
+	for _, b := range sched {
+		min = math.Min(min, b.Rate)
+		max = math.Max(max, b.Rate)
+	}
+	if ratio := max / min; ratio < 3 || ratio > 5 {
+		t.Fatalf("peak/trough ratio = %.2f, want ≈4", ratio)
 	}
 }
 

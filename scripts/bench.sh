@@ -122,3 +122,17 @@ echo "wrote results/BENCH_segstore.json"
 
 go run ./cmd/snoopy-bench -lbtree results/BENCH_lbtree.json
 echo "wrote results/BENCH_lbtree.json"
+
+# Open-loop traffic harness (in-process deployment, fixed small shape so
+# the numbers are machine-comparable): the full scenario suite at the
+# reference load, then the knee sweep vs the calibrated Eq. 1-2 / simnet
+# prediction. Emits results/BENCH_traffic.json and FAILS if p99 at the
+# reference load regresses >10% against the committed baseline
+# (results/BENCH_traffic_baseline.json) — the latency there is dominated
+# by the public epoch quantum, so the gate is stable across hosts. The
+# TCP-cluster variant of the same harness is scripts/traffic.sh.
+go run ./cmd/snoopy-bench -traffic results/BENCH_traffic.json \
+  -sessions 100000 -rate 1500 -duration 1200ms -epoch 25ms \
+  -objects 1024 -block 64 -lbs 1 -suborams 2 \
+  -baseline results/BENCH_traffic_baseline.json
+echo "wrote results/BENCH_traffic.json"

@@ -31,6 +31,18 @@ go test -race -timeout 45m \
   ./internal/telemetry/... \
   ./internal/metrics/...
 
+# The open-loop traffic harness under -race: the scenario-matrix soak, the
+# coordinated-omission regression test, and the workload-independence soak
+# (byte-identical telemetry across secret-differing key patterns). -short
+# skips only the real-time simnet cross-validation sweep, which measures
+# wall-clock capacity and is meaningless under the race detector's ~20x
+# slowdown; it runs in the plain `go test ./...` tier instead.
+go test -race -short -timeout 15m ./internal/loadgen/ ./internal/workload/
+
+# End-to-end smoke of the TCP traffic path: boots a real loopback cluster
+# of snoopy-server processes and drives 10^5 open-loop sessions through it.
+scripts/traffic.sh smoke
+
 # Focused re-run of the overlapped epoch engine's highest-risk surface at
 # pipeline depth > 1: the Flush/Close/stats soak with a faultnet-stalled
 # partition mid-drain, the depth-token liveness test, arena isolation
